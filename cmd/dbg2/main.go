@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/bag"
+	"repro/internal/core"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+func main() {
+	// External storage processes.
+	addrs := map[string]string{
+		"storage-0": "127.0.0.1:7371",
+		"storage-1": "127.0.0.1:7372",
+	}
+	names := []string{"storage-0", "storage-1"}
+	_ = storage.NewNode
+	client := transport.NewTCPClient(addrs)
+	store, err := bag.NewStore(bag.Config{Nodes: names, Client: client, ChunkSize: 256 << 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	const regions, hostBits = 16, 12
+	gen := workload.ClickLogGen{S: 1.0, Regions: regions, UniquePerRegion: 1 << hostBits, Seed: 42}
+	ips := gen.Generate(50000)
+	want := workload.DistinctPerRegion(ips, regions)
+	if err := apps.LoadClickLog(ctx, store, ips); err != nil {
+		log.Fatal(err)
+	}
+	cluster := core.NewClusterOverStore(store, core.ClusterConfig{
+		ComputeNodes: 4, SlotsPerNode: 2,
+		Master: core.MasterConfig{CloneInterval: 50 * time.Millisecond},
+		Node:   core.NodeConfig{MonitorInterval: 25 * time.Millisecond, OverloadThreshold: 0.5},
+	})
+	if err := cluster.Run(ctx, apps.ClickLogApp(regions, hostBits, false)); err != nil {
+		log.Fatal(err)
+	}
+	got, err := apps.ClickLogCounts(ctx, store, regions)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := range want {
+		if got[r] != want[r] {
+			// Inspect the intermediate bags for this region.
+			reg, _ := store.Sample(ctx, apps.RegionBag(r))
+			dis, _ := store.Sample(ctx, apps.DistinctBag(r))
+			cnt, _ := store.Sample(ctx, apps.CountBag(r))
+			fmt.Printf("region %d: got %d want %d | region bag %+v | distinct %+v | count %+v\n",
+				r, got[r], want[r], reg, dis, cnt)
+		}
+	}
+	fmt.Printf("stats: %+v\n", cluster.Master().Stats())
+}

@@ -1,0 +1,76 @@
+// Command hurricane-bench regenerates the paper's evaluation tables and
+// figures from the cluster simulator and baseline models.
+//
+// Usage:
+//
+//	hurricane-bench [experiment ...]
+//
+// With no arguments it runs everything. Experiments: table1 table2 table3
+// table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 storage-scaling
+// utilization.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+var all = []string{
+	"table1", "table2", "table3", "table4",
+	"fig5", "fig6", "fig78", "fig9", "fig10", "fig11", "fig12",
+	"storage-scaling", "utilization",
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = all
+	}
+	for _, a := range args {
+		if err := run(a); err != nil {
+			fmt.Fprintf(os.Stderr, "hurricane-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func run(name string) error {
+	switch name {
+	case "table1":
+		fmt.Print(experiments.FormatTable1(experiments.Table1()))
+	case "table2":
+		fmt.Print(experiments.FormatTable2(experiments.Table2()))
+	case "table3":
+		fmt.Print(experiments.FormatTable3(experiments.Table3()))
+	case "table4":
+		fmt.Print(experiments.FormatTable4(experiments.Table4()))
+	case "fig5":
+		fmt.Print(experiments.FormatFigure5(experiments.Figure5()))
+	case "fig6":
+		fmt.Print(experiments.FormatFigure6(experiments.Figure6()))
+	case "fig7", "fig8", "fig78":
+		fmt.Print(experiments.FormatFigures78(experiments.Figures78()))
+	case "fig9":
+		fmt.Print(experiments.FormatTimeline(
+			"Figure 9: ClickLog throughput over time (320GB, s=1, 32 machines)",
+			experiments.Figure9()))
+	case "fig10":
+		fmt.Print(experiments.FormatFigure10(experiments.Figure10()))
+	case "fig11":
+		fmt.Print(experiments.FormatTimeline(
+			"Figure 11: throughput with compute-node and master crashes (320GB, 32 machines)",
+			experiments.Figure11()))
+	case "fig12":
+		fmt.Print(experiments.FormatFigure12(experiments.Figure12()))
+	case "storage-scaling":
+		fmt.Print(experiments.FormatScaling(experiments.StorageScaling()))
+	case "utilization":
+		fmt.Print(experiments.FormatUtilization(experiments.BatchUtilization(32), 32))
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+// Command hurricane-storage runs a standalone Hurricane storage node
+// serving the bag protocol over TCP.
+//
+// Usage:
+//
+//	hurricane-storage -addr 0.0.0.0:7070 [-dir /data/bags] [-name storage-0]
+//
+// With -dir, bags persist as files and survive restarts (the chunk index
+// is rebuilt from the files on startup, as in the paper's ext4-backed
+// implementation); otherwise bags live in memory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	name := flag.String("name", "storage-0", "storage node name")
+	dir := flag.String("dir", "", "directory for disk-backed bags (empty = in-memory)")
+	flag.Parse()
+
+	var opts []storage.Option
+	if *dir != "" {
+		opts = append(opts, storage.WithDir(*dir))
+	}
+	node := storage.NewNode(*name, opts...)
+	srv := transport.NewTCPServer(node)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("hurricane-storage: %v", err)
+	}
+	fmt.Printf("hurricane-storage %s listening on %s (backend: %s)\n",
+		*name, bound, backendName(*dir))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+func backendName(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return "disk:" + dir
+}

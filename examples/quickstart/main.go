@@ -1,0 +1,101 @@
+// Quickstart: the smallest complete Hurricane application.
+//
+// It builds a two-stage dataflow — square a stream of integers, then sum
+// the squares — on an embedded cluster of 4 storage and 4 compute nodes.
+// The sum stage declares a merge procedure, so Hurricane is free to clone
+// it under load and reconcile the clones' partial sums.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/hurricane"
+)
+
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
+		StorageNodes: 4,
+		ComputeNodes: 4,
+		SlotsPerNode: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	// The application graph: nums -> square -> squares -> sum -> total.
+	app := hurricane.NewApp("quickstart")
+	app.SourceBag("nums").Bag("squares").Bag("total")
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "square",
+		Inputs:  []string{"nums"},
+		Outputs: []string{"squares"},
+		Run: func(tc *hurricane.TaskCtx) error {
+			w := hurricane.NewWriter(tc, 0, hurricane.Int64Of)
+			return hurricane.ForEach(tc, 0, hurricane.Int64Of, func(v int64) error {
+				return w.Write(v * v)
+			})
+		},
+	})
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "sum",
+		Inputs:  []string{"squares"},
+		Outputs: []string{"total"},
+		Merge:   hurricane.MergeSum(), // clones' partial sums are added
+		Run: func(tc *hurricane.TaskCtx) error {
+			var total int64
+			if err := hurricane.ForEach(tc, 0, hurricane.Int64Of, func(v int64) error {
+				total += v
+				return nil
+			}); err != nil {
+				return err
+			}
+			return hurricane.NewWriter(tc, 0, hurricane.Int64Of).Write(total)
+		},
+	})
+
+	// Load and seal the input.
+	const n = 100000
+	nums := make([]int64, n)
+	for i := range nums {
+		nums[i] = int64(i)
+	}
+	store := cluster.Store()
+	if err := hurricane.Load(ctx, store, "nums", hurricane.Int64Of, nums); err != nil {
+		log.Fatal(err)
+	}
+	if err := hurricane.Seal(ctx, store, "nums"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Run and collect.
+	start := time.Now()
+	if err := cluster.Run(ctx, app); err != nil {
+		log.Fatal(err)
+	}
+	totals, err := hurricane.Collect(ctx, store, "total", hurricane.Int64Of)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var got int64
+	for _, v := range totals {
+		got += v
+	}
+	var want int64
+	for _, v := range nums {
+		want += v * v
+	}
+	fmt.Printf("sum of squares 0..%d = %d (expected %d) in %v\n", n-1, got, want, time.Since(start))
+	fmt.Printf("master stats: %+v\n", cluster.Master().Stats())
+	if got != want {
+		log.Fatal("WRONG RESULT")
+	}
+}

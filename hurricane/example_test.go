@@ -1,0 +1,95 @@
+package hurricane_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/hurricane"
+)
+
+// Example demonstrates the smallest complete Hurricane application: sum a
+// bag of integers with a merge procedure so the task can be cloned safely.
+func Example() {
+	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	app := hurricane.NewApp("example")
+	app.SourceBag("nums").Bag("total")
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "sum",
+		Inputs:  []string{"nums"},
+		Outputs: []string{"total"},
+		Merge:   hurricane.MergeSum(),
+		Run: func(tc *hurricane.TaskCtx) error {
+			var total int64
+			if err := hurricane.ForEach(tc, 0, hurricane.Int64Of, func(v int64) error {
+				total += v
+				return nil
+			}); err != nil {
+				return err
+			}
+			return hurricane.NewWriter(tc, 0, hurricane.Int64Of).Write(total)
+		},
+	})
+
+	ctx := context.Background()
+	store := cluster.Store()
+	if err := hurricane.Load(ctx, store, "nums", hurricane.Int64Of, []int64{1, 2, 3, 4, 5}); err != nil {
+		log.Fatal(err)
+	}
+	if err := hurricane.Seal(ctx, store, "nums"); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Run(ctx, app); err != nil {
+		log.Fatal(err)
+	}
+	totals, err := hurricane.Collect(ctx, store, "total", hurricane.Int64Of)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(totals[0])
+	// Output: 15
+}
+
+// ExamplePairOf shows composing codecs for tuple records.
+func ExamplePairOf() {
+	codec := hurricane.PairOf(hurricane.StringOf, hurricane.Int64Of)
+	rec := codec.Encode(nil, hurricane.Pair[string, int64]{First: "clicks", Second: 42})
+	v, _, err := codec.Decode(rec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v.First, v.Second)
+	// Output: clicks 42
+}
+
+// ExampleHLL shows the mergeable distinct-count sketch.
+func ExampleHLL() {
+	a := hurricane.NewHLL(12)
+	b := hurricane.NewHLL(12)
+	for i := 0; i < 500; i++ {
+		a.Add([]byte(fmt.Sprintf("user-%d", i)))
+		b.Add([]byte(fmt.Sprintf("user-%d", i+250))) // 250 overlap
+	}
+	if err := a.Merge(b); err != nil {
+		log.Fatal(err)
+	}
+	est := a.Estimate()
+	fmt.Println(est > 700 && est < 800) // ~750 distinct
+	// Output: true
+}
+
+// ExampleCountMin shows the mergeable frequency sketch.
+func ExampleCountMin() {
+	cm := hurricane.NewCountMin(1<<12, 4)
+	for i := 0; i < 1000; i++ {
+		cm.Add([]byte("popular"), 1)
+	}
+	cm.Add([]byte("rare"), 2)
+	fmt.Println(cm.Estimate([]byte("popular")) >= 1000, cm.Estimate([]byte("rare")) >= 2)
+	// Output: true true
+}

@@ -1,0 +1,256 @@
+// Package hurricane is the public API of the Hurricane analytics engine, a
+// reproduction of "Rock You like a Hurricane: Taming Skew in Large Scale
+// Analytics" (Bindschaedler et al., EuroSys 2018).
+//
+// Hurricane executes dataflow applications — directed graphs of tasks and
+// data bags — with adaptive work partitioning: when a node running a task
+// becomes overloaded, the application master clones the task onto idle
+// nodes, and the clones share the task's input bag, each removing disjoint
+// chunks. Application-supplied merge procedures reconcile the clones'
+// partial outputs. Data is spread uniformly across all storage nodes and
+// retrieved with batch sampling, so cloning never concentrates storage
+// load.
+//
+// A minimal application:
+//
+//	cluster, _ := hurricane.NewCluster(hurricane.ClusterConfig{})
+//	app := hurricane.NewApp("wordlen").
+//		SourceBag("words").
+//		Bag("lengths")
+//	app.AddTask(hurricane.TaskSpec{
+//		Name:    "measure",
+//		Inputs:  []string{"words"},
+//		Outputs: []string{"lengths"},
+//		Run: func(tc *hurricane.TaskCtx) error {
+//			return hurricane.ForEach(tc, 0, hurricane.StringOf, func(w string) error {
+//				return hurricane.NewWriter(tc, 0, hurricane.Int64Of).Write(int64(len(w)))
+//			})
+//		},
+//	})
+//
+// Load and seal the source bag with Load + Seal, run with cluster.Run, and
+// read results with Collect.
+package hurricane
+
+import (
+	"context"
+	"io"
+
+	"repro/internal/bag"
+	"repro/internal/chunk"
+	"repro/internal/core"
+)
+
+// Re-exported engine types. The core engine lives in internal/core; these
+// aliases are the supported public surface.
+type (
+	// Cluster is an embedded Hurricane cluster (storage nodes, compute
+	// nodes, application master).
+	Cluster = core.Cluster
+	// ClusterConfig sizes and tunes a cluster.
+	ClusterConfig = core.ClusterConfig
+	// NodeConfig tunes compute-node scheduling and overload detection.
+	NodeConfig = core.NodeConfig
+	// MasterConfig tunes the application master and cloning heuristic.
+	MasterConfig = core.MasterConfig
+	// MasterStats reports cloning/merge/recovery activity counters.
+	MasterStats = core.MasterStats
+	// App is a dataflow application graph of tasks and bags.
+	App = core.App
+	// TaskSpec declares one task.
+	TaskSpec = core.TaskSpec
+	// BagSpec declares one bag.
+	BagSpec = core.BagSpec
+	// TaskCtx is the execution context passed to task functions.
+	TaskCtx = core.TaskCtx
+	// TaskFunc is a task (or merge) body.
+	TaskFunc = core.TaskFunc
+	// Store is the bag store through which applications load inputs and
+	// read outputs.
+	Store = bag.Store
+	// Bag is a client handle to a named bag.
+	Bag = bag.Bag
+	// Stats describes a bag's contents (sampled).
+	Stats = bag.Stats
+	// Chunk is a block of framed records.
+	Chunk = chunk.Chunk
+	// KV is a key/value record.
+	KV = chunk.KV
+)
+
+// NewCluster provisions an embedded cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// NewApp returns an empty application graph.
+func NewApp(name string) *App { return core.NewApp(name) }
+
+// ErrEmpty is the end-of-bag signal returned by Bag.Remove and TaskCtx
+// input reads.
+var ErrEmpty = bag.ErrEmpty
+
+// Codec serializes records of type T.
+type Codec[T any] = chunk.Codec[T]
+
+// Ready-made codecs for common record types.
+var (
+	// Int64Of encodes int64 records.
+	Int64Of = chunk.Int64Codec{}
+	// Uint64Of encodes uint64 records.
+	Uint64Of = chunk.Uint64Codec{}
+	// Float64Of encodes float64 records.
+	Float64Of = chunk.Float64Codec{}
+	// StringOf encodes string records.
+	StringOf = chunk.StringCodec{}
+	// BytesOf encodes raw byte-slice records.
+	BytesOf = chunk.BytesCodec{}
+	// KVOf encodes key/value records.
+	KVOf = chunk.KVCodec{}
+)
+
+// Pair is a two-field tuple record.
+type Pair[A, B any] = chunk.Pair[A, B]
+
+// PairOf builds a codec for Pair records from two component codecs.
+func PairOf[A, B any](a Codec[A], b Codec[B]) Codec[Pair[A, B]] {
+	return chunk.PairCodec[A, B]{A: a, B: b}
+}
+
+// ForEach drains input i of the task, decoding each record with codec and
+// invoking fn. It returns nil once the input is exhausted. This is the
+// idiomatic body of a streaming task: because chunks are pulled one at a
+// time from the shared input bag, any number of clones can run the same
+// loop concurrently.
+func ForEach[T any](tc *TaskCtx, input int, codec Codec[T], fn func(T) error) error {
+	it := chunk.NewIterator(codec, func() (chunk.Chunk, error) {
+		c, err := tc.Remove(input)
+		if err == bag.ErrEmpty {
+			return nil, io.EOF
+		}
+		return c, err
+	})
+	for {
+		v, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+}
+
+// ForEachScan reads scan input i in full (without consuming it), decoding
+// each record with codec and invoking fn. Every worker of the task —
+// original and clones alike — sees the complete bag, which is how shared
+// lookup state (a hash join's build side, PageRank's rank vector) is
+// distributed to clones.
+func ForEachScan[T any](tc *TaskCtx, scanInput int, codec Codec[T], fn func(T) error) error {
+	it := chunk.NewIterator(codec, func() (chunk.Chunk, error) {
+		c, err := tc.Scan(scanInput)
+		if err == bag.ErrEmpty {
+			return nil, io.EOF
+		}
+		return c, err
+	})
+	for {
+		v, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(v); err != nil {
+			return err
+		}
+	}
+}
+
+// Writer writes typed records to one of a task's outputs.
+type Writer[T any] struct {
+	tc    *TaskCtx
+	out   int
+	codec Codec[T]
+	buf   []byte
+}
+
+// NewWriter returns a typed record writer for output out. The engine
+// flushes partially filled chunks automatically when the task completes.
+func NewWriter[T any](tc *TaskCtx, out int, codec Codec[T]) *Writer[T] {
+	return &Writer[T]{tc: tc, out: out, codec: codec}
+}
+
+// Write appends one record to the output.
+func (w *Writer[T]) Write(v T) error {
+	w.buf = w.codec.Encode(w.buf[:0], v)
+	return w.tc.Writer(w.out).Append(w.buf)
+}
+
+// Load inserts values into the named bag as framed records, one bag handle
+// streaming chunks across all storage nodes. Call Seal when the bag's
+// contents are complete.
+func Load[T any](ctx context.Context, store *Store, bagName string, codec Codec[T], values []T) error {
+	h := store.Bag(bagName)
+	ins := h.Inserter(ctx)
+	w := chunk.NewTypedWriter(codec, store.ChunkSize(), func(c chunk.Chunk) error {
+		return ins.Insert(c)
+	})
+	for _, v := range values {
+		if err := w.Write(v); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return ins.Close()
+}
+
+// Seal marks the named bag complete. Source bags must be sealed before the
+// application starts.
+func Seal(ctx context.Context, store *Store, bagName string) error {
+	return store.Seal(ctx, bagName)
+}
+
+// Collect reads every record of the named bag without consuming it,
+// decoding with codec. Use it to fetch job results after Run returns.
+func Collect[T any](ctx context.Context, store *Store, bagName string, codec Codec[T]) ([]T, error) {
+	sc := store.Scanner(bagName)
+	var out []T
+	for {
+		c, err := sc.Next(ctx)
+		if err == bag.ErrEmpty || err == bag.ErrAgain {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		vals, err := decodeAll(codec, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+}
+
+func decodeAll[T any](codec Codec[T], c chunk.Chunk) ([]T, error) {
+	r := chunk.NewReader(c)
+	var out []T
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		v, _, err := codec.Decode(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+}

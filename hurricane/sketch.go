@@ -1,0 +1,265 @@
+package hurricane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/bits"
+)
+
+// Sketches are the paper's canonical mergeable aggregates (§2.3 cites the
+// count-min sketch [16] and HyperLogLog [22] as tasks that "require
+// support for merging the partial results of the concurrent workers").
+// Each clone builds a sketch over its share of the input; the merge
+// combines the sketches cell-wise. Both types serialize to single records
+// so they flow through bags like any other data.
+
+// ---- count-min sketch ----
+
+// CountMin is a count-min sketch: a width×depth counter matrix estimating
+// per-key frequencies with one-sided error (estimates never undercount).
+type CountMin struct {
+	width, depth int
+	counts       []uint64 // depth rows of width counters
+}
+
+// NewCountMin creates a sketch with the given width (columns per row) and
+// depth (independent hash rows). Estimation error is ≈ 2N/width with
+// probability 1 − (1/2)^depth over N insertions.
+func NewCountMin(width, depth int) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("hurricane: count-min dimensions must be positive")
+	}
+	return &CountMin{width: width, depth: depth, counts: make([]uint64, width*depth)}
+}
+
+func cmHash(key []byte, row int) uint64 {
+	h := fnv.New64a()
+	var seed [4]byte
+	binary.LittleEndian.PutUint32(seed[:], uint32(row))
+	h.Write(seed[:])
+	h.Write(key)
+	return h.Sum64()
+}
+
+// Add increments key's count by n.
+func (c *CountMin) Add(key []byte, n uint64) {
+	for r := 0; r < c.depth; r++ {
+		idx := r*c.width + int(cmHash(key, r)%uint64(c.width))
+		c.counts[idx] += n
+	}
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (c *CountMin) Estimate(key []byte) uint64 {
+	est := uint64(math.MaxUint64)
+	for r := 0; r < c.depth; r++ {
+		idx := r*c.width + int(cmHash(key, r)%uint64(c.width))
+		if c.counts[idx] < est {
+			est = c.counts[idx]
+		}
+	}
+	return est
+}
+
+// Merge adds another sketch of identical dimensions cell-wise.
+func (c *CountMin) Merge(other *CountMin) error {
+	if other.width != c.width || other.depth != c.depth {
+		return fmt.Errorf("hurricane: count-min dimensions %dx%d != %dx%d",
+			other.width, other.depth, c.width, c.depth)
+	}
+	for i, v := range other.counts {
+		c.counts[i] += v
+	}
+	return nil
+}
+
+// Encode serializes the sketch as one record.
+func (c *CountMin) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(c.width))
+	buf = binary.AppendUvarint(buf, uint64(c.depth))
+	for _, v := range c.counts {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+// DecodeCountMin parses an encoded sketch.
+func DecodeCountMin(data []byte) (*CountMin, error) {
+	w, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("hurricane: bad count-min record")
+	}
+	data = data[n:]
+	d, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("hurricane: bad count-min record")
+	}
+	data = data[n:]
+	if w == 0 || d == 0 || w*d > 1<<28 {
+		return nil, fmt.Errorf("hurricane: implausible count-min dimensions %dx%d", w, d)
+	}
+	c := NewCountMin(int(w), int(d))
+	for i := range c.counts {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("hurricane: truncated count-min record")
+		}
+		c.counts[i] = v
+		data = data[n:]
+	}
+	return c, nil
+}
+
+// MergeCountMin returns a merge procedure combining clone count-min
+// partials cell-wise into a single sketch record.
+func MergeCountMin() TaskFunc {
+	return func(tc *TaskCtx) error {
+		var acc *CountMin
+		for i := 0; i < tc.NumInputs(); i++ {
+			if err := ForEach(tc, i, BytesOf, func(rec []byte) error {
+				s, err := DecodeCountMin(rec)
+				if err != nil {
+					return err
+				}
+				if acc == nil {
+					acc = s
+					return nil
+				}
+				return acc.Merge(s)
+			}); err != nil {
+				return err
+			}
+		}
+		if acc == nil {
+			return nil
+		}
+		return NewWriter(tc, 0, BytesOf).Write(acc.Encode())
+	}
+}
+
+// ---- HyperLogLog ----
+
+// HLL is a HyperLogLog cardinality estimator with 2^p registers.
+type HLL struct {
+	p         uint8
+	registers []uint8
+}
+
+// NewHLL creates an estimator with precision p (4 ≤ p ≤ 16); the standard
+// error is ≈ 1.04/sqrt(2^p).
+func NewHLL(p uint8) *HLL {
+	if p < 4 || p > 16 {
+		panic("hurricane: HLL precision must be in [4,16]")
+	}
+	return &HLL{p: p, registers: make([]uint8, 1<<p)}
+}
+
+// mix64 is a murmur3-style finalizer: FNV's high bits are weakly
+// distributed for short keys, and HLL derives both its register index and
+// its rank from the high bits.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Add observes one element.
+func (h *HLL) Add(key []byte) {
+	hf := fnv.New64a()
+	hf.Write(key)
+	x := mix64(hf.Sum64())
+	idx := x >> (64 - h.p)
+	rest := x<<h.p | 1<<(h.p-1) // avoid zero tail
+	rank := uint8(bits.LeadingZeros64(rest)) + 1
+	if rank > h.registers[idx] {
+		h.registers[idx] = rank
+	}
+}
+
+// Estimate returns the cardinality estimate.
+func (h *HLL) Estimate() float64 {
+	m := float64(len(h.registers))
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	alpha := 0.7213 / (1 + 1.079/m)
+	est := alpha * m * m / sum
+	// Small-range correction (linear counting).
+	if est <= 2.5*m && zeros > 0 {
+		est = m * math.Log(m/float64(zeros))
+	}
+	return est
+}
+
+// Merge takes the register-wise maximum with another estimator.
+func (h *HLL) Merge(other *HLL) error {
+	if other.p != h.p {
+		return fmt.Errorf("hurricane: HLL precisions differ: %d vs %d", other.p, h.p)
+	}
+	for i, r := range other.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Encode serializes the estimator as one record.
+func (h *HLL) Encode() []byte {
+	buf := make([]byte, 1+len(h.registers))
+	buf[0] = h.p
+	copy(buf[1:], h.registers)
+	return buf
+}
+
+// DecodeHLL parses an encoded estimator.
+func DecodeHLL(data []byte) (*HLL, error) {
+	if len(data) < 1 {
+		return nil, fmt.Errorf("hurricane: empty HLL record")
+	}
+	p := data[0]
+	if p < 4 || p > 16 || len(data)-1 != 1<<p {
+		return nil, fmt.Errorf("hurricane: bad HLL record (p=%d, %d registers)", p, len(data)-1)
+	}
+	h := NewHLL(p)
+	copy(h.registers, data[1:])
+	return h, nil
+}
+
+// MergeHLL returns a merge procedure taking the register-wise maximum of
+// clone HLL partials — an approximate, constant-space alternative to the
+// ClickLog bitset for distinct counting.
+func MergeHLL() TaskFunc {
+	return func(tc *TaskCtx) error {
+		var acc *HLL
+		for i := 0; i < tc.NumInputs(); i++ {
+			if err := ForEach(tc, i, BytesOf, func(rec []byte) error {
+				h, err := DecodeHLL(rec)
+				if err != nil {
+					return err
+				}
+				if acc == nil {
+					acc = h
+					return nil
+				}
+				return acc.Merge(h)
+			}); err != nil {
+				return err
+			}
+		}
+		if acc == nil {
+			return nil
+		}
+		return NewWriter(tc, 0, BytesOf).Write(acc.Encode())
+	}
+}

@@ -1,0 +1,284 @@
+package apps
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/hurricane"
+	"repro/internal/workload"
+)
+
+// PageRank bag names.
+const (
+	PRBagEdges = "edges" // source edge list
+	PRDamping  = 0.85
+)
+
+func prEdgesBag(iter int) string { return fmt.Sprintf("edges.%d", iter) }
+func prRanksBag(iter int) string { return fmt.Sprintf("ranks.%d", iter) }
+func prContribBag(i int) string  { return fmt.Sprintf("contrib.%d", i) }
+func prSumsBag(iter int) string  { return fmt.Sprintf("sums.%d", iter) }
+
+// PRResultBag names the final rank vector after iters iterations.
+func PRResultBag(iters int) string { return prRanksBag(iters + 1) }
+
+var edgeCodec = hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of)
+
+// rank records: (vertex, (rank, outDegree))
+var rankCodec = hurricane.PairOf(hurricane.Uint64Of,
+	hurricane.PairOf(hurricane.Float64Of, hurricane.Int64Of))
+
+// contribution / sum records: (vertex, partialSum)
+var contribCodec = hurricane.PairOf(hurricane.Uint64Of, hurricane.Float64Of)
+
+type rankRec = hurricane.Pair[uint64, hurricane.Pair[float64, int64]]
+type contribRec = hurricane.Pair[uint64, float64]
+type edgeRec = hurricane.Pair[uint64, uint64]
+
+// mergeVertexSum reconciles clone partials of the gather stage: partial
+// per-vertex sums are added together.
+func mergeVertexSum() hurricane.TaskFunc {
+	return func(tc *hurricane.TaskCtx) error {
+		acc := make(map[uint64]float64)
+		for i := 0; i < tc.NumInputs(); i++ {
+			if err := hurricane.ForEach(tc, i, contribCodec, func(c contribRec) error {
+				acc[c.First] += c.Second
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		keys := make([]uint64, 0, len(acc))
+		for k := range acc {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w := hurricane.NewWriter(tc, 0, contribCodec)
+		for _, k := range keys {
+			if err := w.Write(contribRec{First: k, Second: acc[k]}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// PageRankApp builds the paper's multi-stage PageRank (§5.3): an init
+// stage computes out-degrees and uniform initial ranks, then each of iters
+// iterations scatters rank/degree along edges and gathers contributions
+// per destination vertex. The scatter stage consumes the edge list
+// (cloneable chunk-by-chunk — this is where high-degree-vertex skew bites)
+// while scanning the compact rank vector; it re-emits the edges for the
+// next iteration. The gather stage is cloneable with a per-vertex-sum
+// merge. numVertices is the known vertex universe (2^scale for R-MAT).
+func PageRankApp(numVertices int64, iters int, noClone bool) *hurricane.App {
+	app := hurricane.NewApp("pagerank")
+	app.SourceBag(PRBagEdges)
+	app.Bag(prEdgesBag(1)).Bag(prRanksBag(1))
+	for i := 1; i <= iters; i++ {
+		app.Bag(prContribBag(i)).Bag(prSumsBag(i))
+		app.Bag(prRanksBag(i + 1))
+		if i < iters {
+			app.Bag(prEdgesBag(i + 1))
+		}
+	}
+
+	// Init: single pass over the edges to compute out-degrees; emits the
+	// initial uniform rank vector and the iteration-1 edge copy. Degree
+	// aggregation is global state, so this task is not cloneable.
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "init",
+		Inputs:  []string{PRBagEdges},
+		Outputs: []string{prEdgesBag(1), prRanksBag(1)},
+		NoClone: true,
+		Run: func(tc *hurricane.TaskCtx) error {
+			deg := make(map[uint64]int64)
+			ew := hurricane.NewWriter(tc, 0, edgeCodec)
+			if err := hurricane.ForEach(tc, 0, edgeCodec, func(e edgeRec) error {
+				deg[e.First]++
+				return ew.Write(e)
+			}); err != nil {
+				return err
+			}
+			rw := hurricane.NewWriter(tc, 1, rankCodec)
+			r0 := 1.0 / float64(numVertices)
+			for v := int64(0); v < numVertices; v++ {
+				rec := rankRec{First: uint64(v)}
+				rec.Second.First = r0
+				rec.Second.Second = deg[uint64(v)]
+				if err := rw.Write(rec); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+
+	for i := 1; i <= iters; i++ {
+		i := i
+		// Scatter: stream edges (consumed; clones split the edge list),
+		// looking up src rank/degree in the scanned rank vector.
+		outputs := []string{prContribBag(i)}
+		if i < iters {
+			outputs = append(outputs, prEdgesBag(i+1))
+		}
+		app.AddTask(hurricane.TaskSpec{
+			Name:       fmt.Sprintf("scatter.%d", i),
+			Inputs:     []string{prEdgesBag(i)},
+			ScanInputs: []string{prRanksBag(i)},
+			Outputs:    outputs,
+			NoClone:    noClone,
+			Run: func(tc *hurricane.TaskCtx) error {
+				ranks := make(map[uint64]float64)
+				if err := hurricane.ForEachScan(tc, 0, rankCodec, func(r rankRec) error {
+					if r.Second.Second > 0 {
+						ranks[r.First] = r.Second.First / float64(r.Second.Second)
+					}
+					return nil
+				}); err != nil {
+					return err
+				}
+				cw := hurricane.NewWriter(tc, 0, contribCodec)
+				var ew *hurricane.Writer[edgeRec]
+				if i < iters {
+					ew = hurricane.NewWriter(tc, 1, edgeCodec)
+				}
+				return hurricane.ForEach(tc, 0, edgeCodec, func(e edgeRec) error {
+					if c, ok := ranks[e.First]; ok {
+						if err := cw.Write(contribRec{First: e.Second, Second: c}); err != nil {
+							return err
+						}
+					}
+					if ew != nil {
+						return ew.Write(e)
+					}
+					return nil
+				})
+			},
+		})
+		// Gather: sum contributions per destination vertex. Cloneable
+		// with a per-vertex-sum merge.
+		app.AddTask(hurricane.TaskSpec{
+			Name:    fmt.Sprintf("gather.%d", i),
+			Inputs:  []string{prContribBag(i)},
+			Outputs: []string{prSumsBag(i)},
+			Merge:   mergeVertexSum(),
+			NoClone: noClone,
+			Run: func(tc *hurricane.TaskCtx) error {
+				acc := make(map[uint64]float64)
+				if err := hurricane.ForEach(tc, 0, contribCodec, func(c contribRec) error {
+					acc[c.First] += c.Second
+					return nil
+				}); err != nil {
+					return err
+				}
+				keys := make([]uint64, 0, len(acc))
+				for k := range acc {
+					keys = append(keys, k)
+				}
+				sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+				w := hurricane.NewWriter(tc, 0, contribCodec)
+				for _, k := range keys {
+					if err := w.Write(contribRec{First: k, Second: acc[k]}); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		})
+		// Apply: compute the new rank vector with damping; carries the
+		// degree column forward. Needs the full vertex universe (to emit
+		// ranks for vertices with no in-edges), so it scans the previous
+		// rank vector and is not cloneable.
+		app.AddTask(hurricane.TaskSpec{
+			Name:       fmt.Sprintf("apply.%d", i),
+			Inputs:     []string{prSumsBag(i)},
+			ScanInputs: []string{prRanksBag(i)},
+			Outputs:    []string{prRanksBag(i + 1)},
+			NoClone:    true,
+			Run: func(tc *hurricane.TaskCtx) error {
+				sums := make(map[uint64]float64)
+				if err := hurricane.ForEach(tc, 0, contribCodec, func(c contribRec) error {
+					sums[c.First] += c.Second
+					return nil
+				}); err != nil {
+					return err
+				}
+				base := (1.0 - PRDamping) / float64(numVertices)
+				w := hurricane.NewWriter(tc, 0, rankCodec)
+				return hurricane.ForEachScan(tc, 0, rankCodec, func(r rankRec) error {
+					rec := rankRec{First: r.First}
+					rec.Second.First = base + PRDamping*sums[r.First]
+					rec.Second.Second = r.Second.Second
+					return w.Write(rec)
+				})
+			},
+		})
+	}
+	return app
+}
+
+// LoadEdges loads and seals the PageRank edge list.
+func LoadEdges(ctx context.Context, store *hurricane.Store, edges []workload.Edge) error {
+	recs := make([]edgeRec, len(edges))
+	for i, e := range edges {
+		recs[i] = edgeRec{First: uint64(e.Src), Second: uint64(e.Dst)}
+	}
+	if err := hurricane.Load(ctx, store, PRBagEdges, edgeCodec, recs); err != nil {
+		return err
+	}
+	return hurricane.Seal(ctx, store, PRBagEdges)
+}
+
+// PageRanks reads back the final rank vector as a dense slice.
+func PageRanks(ctx context.Context, store *hurricane.Store, numVertices int64, iters int) ([]float64, error) {
+	recs, err := hurricane.Collect(ctx, store, PRResultBag(iters), rankCodec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, numVertices)
+	for _, r := range recs {
+		if int64(r.First) < numVertices {
+			out[r.First] = r.Second.First
+		}
+	}
+	return out, nil
+}
+
+// SerialPageRank computes the oracle rank vector for verification.
+func SerialPageRank(edges []workload.Edge, numVertices int64, iters int) []float64 {
+	deg := make([]int64, numVertices)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	ranks := make([]float64, numVertices)
+	for i := range ranks {
+		ranks[i] = 1.0 / float64(numVertices)
+	}
+	base := (1.0 - PRDamping) / float64(numVertices)
+	for it := 0; it < iters; it++ {
+		sums := make([]float64, numVertices)
+		for _, e := range edges {
+			if deg[e.Src] > 0 {
+				sums[e.Dst] += ranks[e.Src] / float64(deg[e.Src])
+			}
+		}
+		for v := range ranks {
+			ranks[v] = base + PRDamping*sums[v]
+		}
+	}
+	return ranks
+}
+
+// MaxAbsDiff returns the L∞ distance between two rank vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	var max float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

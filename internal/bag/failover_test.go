@@ -1,0 +1,172 @@
+package bag
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// newReplicatedCluster builds an in-proc store over m storage nodes with
+// the given replication factor.
+func newReplicatedCluster(t *testing.T, m, repl int) (*Store, *transport.InProc) {
+	t.Helper()
+	tr := transport.NewInProc()
+	names := make([]string, m)
+	for i := 0; i < m; i++ {
+		names[i] = fmt.Sprintf("s%d", i)
+		tr.Register(names[i], storage.NewNode(names[i]))
+	}
+	st, err := NewStore(Config{
+		Nodes:       names,
+		Client:      tr,
+		ChunkSize:   1 << 10,
+		BatchFactor: 4,
+		Replication: repl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, tr
+}
+
+func chunkWithID(id uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], id)
+	return b[:]
+}
+
+func idOfChunk(c []byte) uint64 { return binary.BigEndian.Uint64(c) }
+
+// TestFailoverExactlyOnce inserts chunks with replication 2, consumes half,
+// crashes one storage node mid-consumption, and verifies every chunk is
+// delivered exactly once.
+func TestFailoverExactlyOnce(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		ctx := context.Background()
+		st, tr := newReplicatedCluster(t, 4, 2)
+		const n = 400
+		w := st.Bag("data")
+		for i := 0; i < n; i++ {
+			if err := w.Insert(ctx, chunkWithID(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Seal(ctx, "data"); err != nil {
+			t.Fatal(err)
+		}
+
+		seen := make(map[uint64]int)
+		var mu sync.Mutex
+		record := func(c []byte) {
+			mu.Lock()
+			seen[idOfChunk(c)]++
+			mu.Unlock()
+		}
+
+		r := st.Bag("data")
+		got := 0
+		for got < n/2 {
+			c, err := r.Remove(ctx)
+			if err != nil {
+				t.Fatalf("round %d: remove %d: %v", round, got, err)
+			}
+			record(c)
+			got++
+		}
+		tr.Crash("s1")
+		st.MarkDown("s1")
+		for {
+			c, err := r.Remove(ctx)
+			if err == ErrEmpty {
+				break
+			}
+			if err != nil {
+				t.Fatalf("round %d: post-crash remove: %v", round, err)
+			}
+			record(c)
+			got++
+		}
+		r.CloseConsumer()
+		for i := uint64(0); i < n; i++ {
+			switch seen[i] {
+			case 1:
+			case 0:
+				t.Fatalf("round %d: chunk %d lost (delivered %d total)", round, i, got)
+			default:
+				t.Fatalf("round %d: chunk %d delivered %d times", round, i, seen[i])
+			}
+		}
+	}
+}
+
+// TestFailoverConcurrentConsumers runs two consumer handles (clones) while
+// a node crashes; together they must see each chunk exactly once.
+func TestFailoverConcurrentConsumers(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		ctx := context.Background()
+		st, tr := newReplicatedCluster(t, 4, 2)
+		const n = 400
+		w := st.Bag("data")
+		for i := 0; i < n; i++ {
+			if err := w.Insert(ctx, chunkWithID(uint64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Seal(ctx, "data"); err != nil {
+			t.Fatal(err)
+		}
+
+		seen := make(map[uint64]int)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		crash := make(chan struct{})
+		for c := 0; c < 2; c++ {
+			wg.Add(1)
+			go func(idx int) {
+				defer wg.Done()
+				h := st.Bag("data")
+				defer h.CloseConsumer()
+				count := 0
+				for {
+					c, err := h.Remove(ctx)
+					if err == ErrEmpty {
+						return
+					}
+					if err != nil {
+						t.Errorf("round %d consumer %d: %v", round, idx, err)
+						return
+					}
+					mu.Lock()
+					seen[idOfChunk(c)]++
+					mu.Unlock()
+					count++
+					if idx == 0 && count == 50 {
+						close(crash)
+					}
+				}
+			}(c)
+		}
+		go func() {
+			<-crash
+			tr.Crash("s2")
+			st.MarkDown("s2")
+		}()
+		wg.Wait()
+		var lost, dup int
+		for i := uint64(0); i < n; i++ {
+			if seen[i] == 0 {
+				lost++
+			} else if seen[i] > 1 {
+				dup++
+			}
+		}
+		if lost > 0 || dup > 0 {
+			t.Fatalf("round %d: %d lost, %d duplicated of %d", round, lost, dup, n)
+		}
+	}
+}

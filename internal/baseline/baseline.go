@@ -1,0 +1,299 @@
+// Package baseline models the comparison systems of the paper's
+// evaluation — Spark, Hadoop, and GraphX — on top of the same cluster
+// simulator that models Hurricane. The baselines differ from Hurricane in
+// exactly the ways the paper attributes their performance to:
+//
+//   - static partitioning: partition counts are fixed up front and no
+//     mechanism can split a large partition at runtime (Cloning=false);
+//     like the paper, we sweep several partition counts and report the
+//     best result;
+//   - sort-based shuffle: intermediate data is sorted and spilled, adding
+//     CPU and I/O work between stages;
+//   - per-task and per-job overheads (JVM startup, YARN scheduling) —
+//     large for Hadoop, modest for Spark;
+//   - task memory ceilings: Spark crashes when a skewed task's working
+//     set exceeds its 16 GB task memory limit (the paper's Fig. 12
+//     "negative bars"); Hadoop spills instead, at a steep I/O penalty.
+package baseline
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Model captures one baseline system's cost structure.
+type Model struct {
+	// Name labels result rows ("Spark", "Hadoop").
+	Name string
+	// JobStartup is fixed job submission + scheduling overhead (s).
+	JobStartup float64
+	// PerTaskOverhead is scheduling/JVM cost per task (s).
+	PerTaskOverhead float64
+	// SortFactor divides stage CPU rates to account for sorting
+	// intermediate data (Hurricane needs no sort, §5.3: "Hurricane
+	// achieves lower overall runtimes because it does not need to sort
+	// intermediate data").
+	SortFactor float64
+	// ShuffleIO multiplies intermediate output I/O (spill write + read).
+	ShuffleIO float64
+	// TaskMemLimit is the per-task memory ceiling in bytes (0 = no
+	// crash, spill instead).
+	TaskMemLimit float64
+	// MemAmplification is the in-memory working set per input byte
+	// (JVM object headers, boxing, hash tables).
+	MemAmplification float64
+	// SpillAmplification is the per-task working set per input byte used
+	// for spill decisions (0 = use MemAmplification). GraphX keeps
+	// partitioned edge data compact per task but amplifies cluster-wide.
+	SpillAmplification float64
+	// SpillPenalty divides effective I/O bandwidth for tasks whose
+	// working set exceeds memory and must spill (random I/O).
+	SpillPenalty float64
+	// PartitionSweep is the set of static partition counts to try; the
+	// best runtime is reported (the paper: "we try multiple values for
+	// the number of partitions (ranging from 100 to 10000) and report
+	// the best runtime").
+	PartitionSweep []int
+}
+
+// Spark returns the Spark 2.2 cost model.
+func Spark() Model {
+	return Model{
+		Name:             "Spark",
+		JobStartup:       7.0,
+		PerTaskOverhead:  0.01,
+		SortFactor:       3.0,
+		ShuffleIO:        1.0,
+		TaskMemLimit:     16e9,
+		MemAmplification: 6.0,
+		SpillPenalty:     1.0,
+		PartitionSweep:   []int{64, 128, 256, 1024, 4096},
+	}
+}
+
+// Hadoop returns the Hadoop 2.7 cost model.
+func Hadoop() Model {
+	return Model{
+		Name:             "Hadoop",
+		JobStartup:       30.0,
+		PerTaskOverhead:  0.15,
+		SortFactor:       3.5,
+		ShuffleIO:        2.0,
+		TaskMemLimit:     0, // spills rather than crashing
+		MemAmplification: 6.0,
+		SpillPenalty:     3.0,
+		PartitionSweep:   []int{64, 128, 256, 1024, 4096},
+	}
+}
+
+// GraphX returns the GraphX cost model used for Table 4: Spark's engine
+// with heavier per-iteration shuffles and graph-sized working sets.
+func GraphX() Model {
+	m := Spark()
+	m.Name = "GraphX"
+	m.SortFactor = 1.6
+	m.ShuffleIO = 2.0
+	m.MemAmplification = 16.0 // vertex/edge triplet views cluster-wide
+	m.SpillAmplification = 2.0
+	m.SpillPenalty = 6.0
+	m.TaskMemLimit = 16e9
+	return m
+}
+
+// Result wraps a simulation result with crash information surfaced the
+// way the paper reports it.
+type Result struct {
+	sim.Result
+	// OOM marks a Spark-style task-memory crash (Fig. 12 negative bars).
+	OOM bool
+	// Partitions is the static partition count that produced this
+	// (best) result.
+	Partitions int
+}
+
+// RunClickLog runs the baseline's ClickLog with a partition sweep,
+// returning the best non-crashed result (or the crash, if every
+// configuration crashes).
+func (m Model) RunClickLog(cfg sim.Config, totalInput, skew float64) Result {
+	best := Result{}
+	first := true
+	for _, parts := range m.PartitionSweep {
+		r := m.runClickLogOnce(cfg, totalInput, skew, parts)
+		if first || better(r, best) {
+			best = r
+			first = false
+		}
+	}
+	return best
+}
+
+func better(a, b Result) bool {
+	if a.OOM != b.OOM {
+		return !a.OOM
+	}
+	return a.Runtime < b.Runtime
+}
+
+func (m Model) runClickLogOnce(cfg sim.Config, totalInput, skew float64, partitions int) Result {
+	// The reduce key is the region: a shuffle-based system cannot split
+	// one region's distinct-count across reducers, so its effective
+	// reduce-side partition count is capped at the region count however
+	// many partitions are configured. (Hurricane is not subject to this
+	// cap: its merge procedure lets clones share a region, §6.)
+	reduceParts := partitions
+	if reduceParts > 64 {
+		reduceParts = 64
+	}
+	job := sim.ClickLogJob(sim.ClickLogParams{
+		TotalInput:       totalInput,
+		Skew:             skew,
+		Partitions:       reduceParts,
+		Phase1Partitions: partitions,
+	})
+	m.applyCosts(&job)
+	// Task-memory crash check: the distinct-count working set of the
+	// largest Phase 2 partition.
+	if m.TaskMemLimit > 0 {
+		largest := 0.0
+		for _, t := range job.Tasks {
+			if t.Phase == 2 && t.InputBytes > largest {
+				largest = t.InputBytes
+			}
+		}
+		if largest*m.MemAmplification > m.TaskMemLimit {
+			return Result{
+				Result: sim.Result{
+					Crashed:     true,
+					CrashReason: "task exceeded 16 GB task memory limit",
+				},
+				OOM:        true,
+				Partitions: partitions,
+			}
+		}
+	}
+	c := m.applyConfig(cfg, len(job.Tasks))
+	res := sim.Run(c, job)
+	return Result{Result: res, Partitions: partitions}
+}
+
+// applyCosts rewrites a Hurricane job into the baseline's cost structure:
+// no cloning, sort overhead on CPU rates, shuffle I/O on outputs, and
+// spill penalties on oversized working sets.
+func (m Model) applyCosts(job *sim.Job) {
+	for i := range job.Tasks {
+		t := &job.Tasks[i]
+		t.Cloneable = false
+		t.Mergeable = false
+		t.CPURate /= m.SortFactor
+		t.OutputRatio *= m.ShuffleIO
+		spillAmp := m.SpillAmplification
+		if spillAmp <= 0 {
+			spillAmp = m.MemAmplification
+		}
+		working := t.InputBytes * spillAmp
+		if m.TaskMemLimit > 0 && working > m.TaskMemLimit && m.SpillPenalty > 1 {
+			t.CPURate /= m.SpillPenalty
+		}
+		if m.TaskMemLimit == 0 { // Hadoop: always possible to spill
+			if working > 8e9 {
+				t.CPURate /= m.SpillPenalty
+			}
+		}
+	}
+}
+
+func (m Model) applyConfig(cfg sim.Config, numTasks int) sim.Config {
+	cfg.Cloning = false
+	cfg.Startup = m.JobStartup
+	cfg.PerTaskOverhead = m.PerTaskOverhead
+	// HDFS-style local reads rather than spread bags: the paper ensures
+	// "both Hadoop and Spark read their input data from the local disk";
+	// their shuffles do traverse the network. Keeping the global-pool
+	// abstraction with full disk efficiency approximates data-local map
+	// scheduling.
+	cfg.SpreadData = true
+	return cfg
+}
+
+// RunHashJoin runs the baseline join with a partition sweep (Table 3).
+// Joins shuffle raw tuples rather than sorting aggregates, so the sort
+// overhead relative to Hurricane is smaller than ClickLog's (the paper's
+// uniform join gap is ≈1.5–1.8×, not 6×).
+func (m Model) RunHashJoin(cfg sim.Config, buildBytes, probeBytes, skew float64) Result {
+	m.SortFactor = 1.6
+	best := Result{}
+	first := true
+	for _, parts := range m.PartitionSweep {
+		job := sim.HashJoinJob(sim.HashJoinParams{
+			BuildBytes:       buildBytes,
+			ProbeBytes:       probeBytes,
+			Skew:             skew,
+			Partitions:       parts,
+			Phase1Partitions: parts,
+		})
+		m.applyCosts(&job)
+		if m.TaskMemLimit > 0 {
+			// The hot build partition's in-memory hash table (the join
+			// output is streamed, not held).
+			hot := sim.LargestPartitionFraction(parts, skew, parts)
+			largest := buildBytes * hot * m.MemAmplification
+			if largest > m.TaskMemLimit {
+				r := Result{
+					Result:     sim.Result{Crashed: true, CrashReason: "join partition exceeded task memory"},
+					OOM:        true,
+					Partitions: parts,
+				}
+				if first {
+					best, first = r, false
+				}
+				continue
+			}
+		}
+		c := m.applyConfig(cfg, len(job.Tasks))
+		res := Result{Result: sim.Run(c, job), Partitions: parts}
+		if first || better(res, best) {
+			best, first = res, false
+		}
+	}
+	return best
+}
+
+// RunPageRank runs the baseline PageRank (Table 4's GraphX column).
+func (m Model) RunPageRank(cfg sim.Config, edgeBytes, vertexBytes float64, iterations int, degreeSkew float64) Result {
+	job := sim.PageRankJob(sim.PageRankParams{
+		EdgeBytes:      edgeBytes,
+		VertexBytes:    vertexBytes,
+		Iterations:     iterations,
+		DegreeSkew:     degreeSkew,
+		InitPartitions: 64,
+	})
+	m.applyCosts(&job)
+	// Graph working set vs cluster memory: when the amplified edge +
+	// vertex data cannot fit, GraphX grinds into spill-land.
+	clusterMem := cfg.MemoryPerMachine * float64(cfg.Machines)
+	working := (edgeBytes + vertexBytes) * m.MemAmplification
+	if working > clusterMem {
+		// Severe thrash: every stage spills at the penalty rate.
+		for i := range job.Tasks {
+			job.Tasks[i].CPURate /= m.SpillPenalty
+			job.Tasks[i].OutputRatio *= 2
+		}
+	}
+	c := m.applyConfig(cfg, len(job.Tasks))
+	res := sim.Run(c, job)
+	// The paper reports ">12h" for runs that did not finish.
+	if res.Runtime > 12*3600 {
+		res.Crashed = true
+		res.CrashReason = "did not finish within 12 hours"
+	}
+	return Result{Result: res, Partitions: 0}
+}
+
+// TimeoutHours converts the paper's ">12h" convention.
+func TimeoutHours(r Result) float64 {
+	if r.Crashed {
+		return math.Inf(1)
+	}
+	return r.Runtime / 3600
+}

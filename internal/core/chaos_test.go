@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMasterChaosRecovery repeatedly crashes and recovers the master at
+// arbitrary points during a clone-heavy job (worker completions, merge
+// scheduling, rename adoption may all be mid-flight). Every recovered
+// master rebuilds from the work bags; the job must still produce the
+// exact answer without double-executing work.
+func TestMasterChaosRecovery(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		func() {
+			cfg := testClusterConfig()
+			cfg.Master.DisableHeuristic = true
+			cfg.Master.CloneInterval = 2 * time.Millisecond
+			cfg.Node.MonitorInterval = 2 * time.Millisecond
+			cfg.Node.OverloadThreshold = 0.01
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			cluster, err := NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Shutdown()
+
+			const n = 60000
+			var processed atomic.Int64
+			app := sumApp(&processed)
+			loadInts(t, ctx, cluster.Store(), "in", n)
+			if err := cluster.Start(ctx, app); err != nil {
+				t.Fatal(err)
+			}
+
+			// Kill and recover the master three times at staggered points.
+			for k := 0; k < 3; k++ {
+				target := int64(n) * int64(k+1) / 5
+				for processed.Load() < target {
+					select {
+					case <-cluster.Master().Done():
+						// Job finished early; nothing left to crash.
+						k = 3
+						target = 0
+					default:
+					}
+					if target == 0 || ctx.Err() != nil {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if k >= 3 {
+					break
+				}
+				if err := cluster.CrashMaster(); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(3 * time.Millisecond)
+				cluster.RecoverMaster(ctx)
+			}
+
+			if err := cluster.Wait(ctx); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			want := int64(n) * (n - 1) / 2
+			if got := readSum(t, ctx, cluster.Store()); got != want {
+				t.Fatalf("round %d: sum = %d, want %d (processed %d)",
+					round, got, want, processed.Load())
+			}
+			// Master crashes alone never restart tasks, so every record is
+			// processed exactly once.
+			if processed.Load() != n {
+				t.Errorf("round %d: processed %d, want exactly %d", round, processed.Load(), n)
+			}
+		}()
+	}
+}
+
+// TestCombinedChaos injects a master crash AND a compute-node crash in the
+// same run; the recovered master must pick up the in-flight recovery state
+// from the work bags.
+func TestCombinedChaos(t *testing.T) {
+	cfg := testClusterConfig()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	const n = 60000
+	var processed atomic.Int64
+	app := sumApp(&processed)
+	loadInts(t, ctx, cluster.Store(), "in", n)
+	if err := cluster.Start(ctx, app); err != nil {
+		t.Fatal(err)
+	}
+	for processed.Load() < n/10 && ctx.Err() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	// Crash a compute node, recover it via the master, then immediately
+	// crash the master before the restarted task can get far.
+	if err := cluster.CrashComputeNode("compute-2", true); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	if err := cluster.CrashMaster(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	cluster.RecoverMaster(ctx)
+
+	if err := cluster.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * (n - 1) / 2
+	if got := readSum(t, ctx, cluster.Store()); got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"time"
+)
+
+// drainOverloads processes pending overload signals from compute nodes,
+// cloning tasks per the cloning heuristic (§4.2).
+func (m *Master) drainOverloads() {
+	for {
+		select {
+		case msg := <-m.overloadCh:
+			m.maybeClone(msg)
+		default:
+			return
+		}
+	}
+}
+
+// maybeClone evaluates one clone request. The decision sequence mirrors
+// the paper: the signal must be rate-limited (at least CloneInterval since
+// the task's last clone), an idle compute slot must exist, and Eq. 2 must
+// hold: T > (k+1)·T_IO, where T is the expected remaining time of the
+// task, k the current worker count, and T_IO the expected extra I/O time a
+// clone introduces (reading remaining state plus merging its output).
+func (m *Master) maybeClone(msg overloadMsg) {
+	if m.cfg.DisableCloning {
+		return
+	}
+	m.mu.Lock()
+	st := m.tasks[msg.bp.Spec]
+	if st == nil || msg.bp.Epoch != st.epoch || msg.bp.Kind == KindMerge ||
+		!st.scheduled || st.finished || st.spec.NoClone {
+		m.mu.Unlock()
+		return
+	}
+	k := st.workers
+	if len(st.doneWorkers) >= k {
+		m.mu.Unlock()
+		return // task is effectively over
+	}
+	maxWorkers := m.control.TotalSlots()
+	if st.spec.MaxClones > 0 && st.spec.MaxClones < maxWorkers {
+		maxWorkers = st.spec.MaxClones
+	}
+	if k >= maxWorkers {
+		m.mu.Unlock()
+		return
+	}
+	if time.Since(st.lastClone) < m.cfg.CloneInterval {
+		m.mu.Unlock()
+		return
+	}
+	if m.control.FreeSlots() <= 0 {
+		m.rejects++
+		m.mu.Unlock()
+		return
+	}
+	startedAt := st.startedAt
+	input := st.spec.Inputs[0]
+	m.mu.Unlock()
+
+	if !m.cfg.DisableHeuristic {
+		if !m.cloneWorthwhile(input, k, startedAt) {
+			m.mu.Lock()
+			m.rejects++
+			m.mu.Unlock()
+			return
+		}
+	}
+
+	// Clone: hand out the next worker index and schedule it like any
+	// other task ("the master performs task cloning by scheduling a copy
+	// of the task on an idle node, as it would any other task", §3.2).
+	m.mu.Lock()
+	if st.epoch != msg.bp.Epoch || st.finished || st.workers != k {
+		m.mu.Unlock()
+		return // state moved under us; the next signal will retry
+	}
+	w := st.workers
+	st.workers++
+	st.lastClone = time.Now()
+	m.clones++
+	bp := m.blueprintFor(st, w)
+	m.mu.Unlock()
+
+	if err := m.wb.pushReady(m.ctx, bp); err != nil {
+		m.fail(err)
+	}
+}
+
+// cloneWorthwhile evaluates Eq. 2 against live bag statistics.
+//
+//	T      — remaining task time, estimated from the input bag's remaining
+//	         bytes and the task's observed aggregate drain rate;
+//	T_IO   — extra I/O the clone causes: it will read ≈ R/(k+1) of the
+//	         remaining input and write a comparable partial output that
+//	         must then be merged, so T_IO ≈ 2·(R/(k+1))/BW.
+//
+// Clone iff T > (k+1)·T_IO.
+func (m *Master) cloneWorthwhile(input string, k int, startedAt time.Time) bool {
+	stats, err := m.store.SampleSlots(m.ctx, input, m.cfg.SampleSlots)
+	if err != nil {
+		return false
+	}
+	remaining := float64(stats.RemainingBytes())
+	if remaining <= 0 {
+		return false // nothing left to split
+	}
+	elapsed := time.Since(startedAt).Seconds()
+	consumed := float64(stats.ReadBytes)
+	if elapsed <= 0 {
+		return true
+	}
+	rate := consumed / elapsed
+	if rate <= 0 {
+		// No observed progress yet: assume cloning helps.
+		return true
+	}
+	t := remaining / rate
+	tio := 2 * (remaining / float64(k+1)) / m.cfg.StorageBandwidth
+	return t > float64(k+1)*tio
+}
+
+// speculativePass proactively clones straggling tasks when speculative
+// cloning is enabled: any task still running SpeculativeAfter past its
+// start is treated as if it had signalled overload. The usual gates —
+// clone-interval rate limiting, free slots, Eq. 2 — still apply through
+// maybeClone.
+func (m *Master) speculativePass() {
+	if !m.cfg.SpeculativeCloning || m.cfg.DisableCloning {
+		return
+	}
+	now := time.Now()
+	m.mu.Lock()
+	var candidates []*Blueprint
+	for name, st := range m.tasks {
+		if !st.scheduled || st.finished || st.workers == 0 ||
+			len(st.doneWorkers) >= st.workers || st.spec.NoClone {
+			continue
+		}
+		if now.Sub(st.startedAt) < m.cfg.SpeculativeAfter {
+			continue
+		}
+		if now.Sub(st.lastClone) < m.cfg.CloneInterval {
+			continue
+		}
+		candidates = append(candidates, &Blueprint{
+			Spec: name, Epoch: st.epoch, Kind: KindTask,
+		})
+	}
+	m.mu.Unlock()
+	for _, bp := range candidates {
+		m.maybeClone(overloadMsg{node: "(speculative)", bp: bp})
+		m.mu.Lock()
+		m.speculative++
+		m.mu.Unlock()
+	}
+}
+
+// failureDetectPass declares compute nodes dead after FailTimeout of
+// heartbeat silence and recovers their tasks.
+func (m *Master) failureDetectPass() {
+	if m.cfg.FailTimeout <= 0 {
+		return
+	}
+	now := time.Now()
+	m.mu.Lock()
+	var deadNodes []string
+	for name, ns := range m.nodes {
+		if !ns.dead && now.Sub(ns.lastBeat) > m.cfg.FailTimeout {
+			ns.dead = true
+			deadNodes = append(deadNodes, name)
+		}
+	}
+	m.mu.Unlock()
+	for _, node := range deadNodes {
+		m.enqueueRecovery(node)
+	}
+}
+
+// drainRecoveries performs pending node recoveries. It runs on the master
+// loop goroutine, so recovery's task-state resets, kills, and storage
+// scrubbing are strictly ordered before the next schedulePass — a
+// restarted task can never start reading an input bag before its rewind
+// lands.
+func (m *Master) drainRecoveries() {
+	for {
+		select {
+		case node := <-m.recoverCh:
+			m.recoverNode(node)
+		default:
+			return
+		}
+	}
+}
+
+func (m *Master) enqueueRecovery(node string) {
+	select {
+	case m.recoverCh <- node:
+	default:
+		// Queue full: re-mark the node not-dead so failure detection
+		// retries next tick. In practice 64 pending recoveries means the
+		// cluster is gone anyway.
+		m.mu.Lock()
+		if ns := m.nodes[node]; ns != nil {
+			ns.dead = false
+		}
+		m.mu.Unlock()
+	}
+}
+
+// NotifyNodeFailure lets the embedding cluster report a known-dead compute
+// node immediately instead of waiting out the heartbeat timeout.
+func (m *Master) NotifyNodeFailure(node string) {
+	m.mu.Lock()
+	ns := m.nodes[node]
+	if ns == nil {
+		ns = &nodeState{}
+		m.nodes[node] = ns
+	}
+	alreadyDead := ns.dead
+	ns.dead = true
+	m.mu.Unlock()
+	if !alreadyDead {
+		m.enqueueRecovery(node)
+	}
+}
+
+// recoverNode restarts every task that had a worker on the failed node
+// (§4.4): terminate all running clones of those tasks, discard their
+// output bags, rewind their input bags, and reschedule them at a new
+// epoch. Tasks that shared an output bag with a restarted task are also
+// restarted (their contribution to the discarded bag is lost), which the
+// worklist below handles transitively.
+func (m *Master) recoverNode(node string) {
+	m.mu.Lock()
+	m.recoveries++
+	// Find directly affected tasks: unfinished tasks with a worker
+	// started on the dead node.
+	worklist := make([]string, 0, 4)
+	inList := make(map[string]bool)
+	for name, st := range m.tasks {
+		if st.finished || !st.scheduled {
+			continue
+		}
+		for _, n := range st.running {
+			if n == node {
+				if !inList[name] {
+					worklist = append(worklist, name)
+					inList[name] = true
+				}
+				break
+			}
+		}
+	}
+
+	type restartPlan struct {
+		spec    string
+		epoch   int // epoch being aborted
+		discard []string
+		rewind  []string
+	}
+	var plans []restartPlan
+	for len(worklist) > 0 {
+		name := worklist[len(worklist)-1]
+		worklist = worklist[:len(worklist)-1]
+		st := m.tasks[name]
+		plan := restartPlan{spec: name, epoch: st.epoch}
+		// Outputs to discard: partial bags (if merging) plus declared
+		// outputs (a sole-worker rename may already have moved data
+		// there, and concat-task clones write it directly).
+		if st.spec.requiresMerge() {
+			plan.discard = append(plan.discard, st.partials()...)
+		}
+		plan.discard = append(plan.discard, st.spec.Outputs...)
+		plan.rewind = append(plan.rewind, st.spec.Inputs...)
+		plans = append(plans, plan)
+
+		// Restarting this task discards its declared outputs; other
+		// producers of those bags lose their contribution and must be
+		// restarted too, even if they already finished.
+		for _, out := range st.spec.Outputs {
+			for _, p := range m.app.Producers(out) {
+				if p != name && !inList[p] && m.tasks[p].scheduled {
+					worklist = append(worklist, p)
+					inList[p] = true
+				}
+			}
+		}
+		// Reset master state for the task at a fresh epoch.
+		if st.finished {
+			m.finished--
+		}
+		for _, out := range st.spec.Outputs {
+			delete(m.sealed, out)
+		}
+		st.reset(st.epoch + 1)
+	}
+	m.mu.Unlock()
+
+	// Execute the plans outside the lock: kill clones cluster-wide, then
+	// scrub storage. The tasks will be rescheduled by the next
+	// schedulePass once their (still sealed) inputs qualify.
+	for _, plan := range plans {
+		m.control.KillTask(plan.spec, plan.epoch)
+	}
+	for _, plan := range plans {
+		for _, b := range plan.discard {
+			if err := m.store.Discard(m.ctx, b); err != nil {
+				m.fail(err)
+				return
+			}
+		}
+		for _, b := range plan.rewind {
+			if err := m.store.Rewind(m.ctx, b); err != nil {
+				m.fail(err)
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,419 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bag"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// ClusterConfig describes an embedded Hurricane cluster: in-process
+// storage and compute nodes connected by the in-process transport. This is
+// the deployment used by the test suite, the examples, and the real-engine
+// benchmarks; cmd/hurricane-storage and cmd/hurricane-run assemble the
+// same pieces over TCP.
+type ClusterConfig struct {
+	// StorageNodes is the number of storage nodes (default 4).
+	StorageNodes int
+	// ComputeNodes is the number of compute nodes (default 4).
+	ComputeNodes int
+	// SlotsPerNode is the number of worker slots per compute node
+	// (default 2).
+	SlotsPerNode int
+	// ChunkSize overrides the chunk size (default 64 KiB embedded; the
+	// paper uses 4 MB at cluster scale).
+	ChunkSize int
+	// BatchFactor is the batch sampling factor b (default 10).
+	BatchFactor int
+	// Replication is the storage replication factor (default 1 = off).
+	Replication int
+	// DiskDir, if set, backs bags with files under this directory.
+	DiskDir string
+	// TransportLatency adds artificial latency to every storage request.
+	TransportLatency time.Duration
+
+	// Node and Master tuning.
+	Node   NodeConfig
+	Master MasterConfig
+}
+
+func (c *ClusterConfig) fill() {
+	if c.StorageNodes <= 0 {
+		c.StorageNodes = 4
+	}
+	if c.ComputeNodes <= 0 {
+		c.ComputeNodes = 4
+	}
+	if c.SlotsPerNode <= 0 {
+		c.SlotsPerNode = 2
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 64 << 10
+	}
+	if c.BatchFactor <= 0 {
+		c.BatchFactor = bag.DefaultBatchFactor
+	}
+}
+
+// Cluster is an embedded Hurricane cluster.
+type Cluster struct {
+	cfg      ClusterConfig
+	inproc   *transport.InProc
+	store    *bag.Store
+	storages map[string]*storage.Node
+
+	mu       sync.Mutex
+	computes map[string]*ComputeNode
+	master   *Master
+	app      *App
+	nextComp int
+	nextStor int
+}
+
+// NewCluster provisions storage nodes and a bag store per the config.
+// Compute nodes and the master are created by Run (or Start).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	cfg.fill()
+	c := &Cluster{
+		cfg:      cfg,
+		inproc:   transport.NewInProc(),
+		storages: make(map[string]*storage.Node),
+		computes: make(map[string]*ComputeNode),
+	}
+	if cfg.TransportLatency > 0 {
+		c.inproc.SetLatency(cfg.TransportLatency)
+	}
+	names := make([]string, 0, cfg.StorageNodes)
+	for i := 0; i < cfg.StorageNodes; i++ {
+		name := fmt.Sprintf("storage-%d", i)
+		var opts []storage.Option
+		if cfg.DiskDir != "" {
+			opts = append(opts, storage.WithDir(fmt.Sprintf("%s/%s", cfg.DiskDir, name)))
+		}
+		node := storage.NewNode(name, opts...)
+		c.storages[name] = node
+		c.inproc.Register(name, node)
+		names = append(names, name)
+	}
+	c.nextStor = cfg.StorageNodes
+	store, err := bag.NewStore(bag.Config{
+		Nodes:       names,
+		Client:      c.inproc,
+		ChunkSize:   cfg.ChunkSize,
+		BatchFactor: cfg.BatchFactor,
+		Replication: cfg.Replication,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.store = store
+	return c, nil
+}
+
+// NewClusterOverStore builds a cluster whose storage tier is external —
+// for example hurricane-storage servers reached over TCP. Only compute
+// nodes and the application master run in this process; StorageNodes,
+// Replication, ChunkSize, and BatchFactor in cfg are ignored (they are
+// properties of the supplied store). Storage crash injection is
+// unavailable in this mode.
+func NewClusterOverStore(store *bag.Store, cfg ClusterConfig) *Cluster {
+	cfg.fill()
+	return &Cluster{
+		cfg:      cfg,
+		store:    store,
+		storages: make(map[string]*storage.Node),
+		computes: make(map[string]*ComputeNode),
+	}
+}
+
+// Store exposes the cluster's bag store (to load source bags and read
+// results).
+func (c *Cluster) Store() *bag.Store { return c.store }
+
+// Master returns the current application master (nil before Start).
+func (c *Cluster) Master() *Master {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.master
+}
+
+// ---- ClusterControl ----
+
+// KillTask implements ClusterControl.
+func (c *Cluster) KillTask(spec string, epoch int) {
+	c.mu.Lock()
+	nodes := make([]*ComputeNode, 0, len(c.computes))
+	for _, n := range c.computes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.KillTask(spec, epoch)
+	}
+}
+
+// FreeSlots implements ClusterControl.
+func (c *Cluster) FreeSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	free := 0
+	for _, n := range c.computes {
+		free += n.Slots() - n.Running()
+	}
+	return free
+}
+
+// TotalSlots implements ClusterControl.
+func (c *Cluster) TotalSlots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := 0
+	for _, n := range c.computes {
+		total += n.Slots()
+	}
+	return total
+}
+
+// ---- lifecycle ----
+
+// Start validates the app, spins up compute nodes and the master, and
+// begins execution. Source bags must be loaded and sealed beforehand.
+func (c *Cluster) Start(ctx context.Context, app *App) error {
+	if err := app.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.master != nil {
+		return fmt.Errorf("core: cluster already running an app")
+	}
+	c.app = app
+	c.master = NewMaster(app, c.store, c, c.cfg.Master)
+	wb := c.master.WorkBags()
+	for i := 0; i < c.cfg.ComputeNodes; i++ {
+		name := fmt.Sprintf("compute-%d", i)
+		node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, app, wb, c.master, c.cfg.Node)
+		c.computes[name] = node
+		node.Start(ctx)
+	}
+	c.nextComp = c.cfg.ComputeNodes
+	c.master.Start(ctx)
+	return nil
+}
+
+// Wait blocks until the running app completes and returns its error.
+func (c *Cluster) Wait(ctx context.Context) error {
+	c.mu.Lock()
+	m := c.master
+	c.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("core: no app running")
+	}
+	select {
+	case <-m.Done():
+		return m.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Run starts the app and waits for completion.
+func (c *Cluster) Run(ctx context.Context, app *App) error {
+	if err := c.Start(ctx, app); err != nil {
+		return err
+	}
+	return c.Wait(ctx)
+}
+
+// Shutdown stops all compute nodes and the master.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	nodes := make([]*ComputeNode, 0, len(c.computes))
+	for _, n := range c.computes {
+		nodes = append(nodes, n)
+	}
+	m := c.master
+	c.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+	if m != nil {
+		m.Stop()
+	}
+}
+
+// ---- elasticity and fault injection ----
+
+// AddComputeNode adds a compute node mid-run (§3.4).
+func (c *Cluster) AddComputeNode(ctx context.Context) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.master == nil {
+		return "", fmt.Errorf("core: no app running")
+	}
+	name := fmt.Sprintf("compute-%d", c.nextComp)
+	c.nextComp++
+	node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, c.app, c.master.WorkBags(), c.master, c.cfg.Node)
+	c.computes[name] = node
+	node.Start(ctx)
+	return name, nil
+}
+
+// RemoveComputeNode gracefully removes a compute node: it stops claiming
+// tasks and the call returns after its current workers complete.
+func (c *Cluster) RemoveComputeNode(name string) error {
+	c.mu.Lock()
+	node, ok := c.computes[name]
+	if ok {
+		delete(c.computes, name)
+	}
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown compute node %q", name)
+	}
+	node.Stop()
+	return nil
+}
+
+// AddStorageNode adds a storage node mid-run (§3.4). New bag handles
+// spread data over the enlarged cluster; bags already sealed are resealed
+// so their empty share on the new node reports end-of-bag correctly.
+func (c *Cluster) AddStorageNode() string {
+	if c.inproc == nil {
+		return "" // external storage tier (NewClusterOverStore)
+	}
+	c.mu.Lock()
+	name := fmt.Sprintf("storage-%d", c.nextStor)
+	c.nextStor++
+	var opts []storage.Option
+	if c.cfg.DiskDir != "" {
+		opts = append(opts, storage.WithDir(fmt.Sprintf("%s/%s", c.cfg.DiskDir, name)))
+	}
+	node := storage.NewNode(name, opts...)
+	c.storages[name] = node
+	c.inproc.Register(name, node)
+	c.store.AddNode(name)
+	m := c.master
+	c.mu.Unlock()
+	if m != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := m.ResealAll(ctx); err != nil {
+			m.fail(err)
+		}
+	}
+	return name
+}
+
+// CrashComputeNode abruptly kills a compute node and notifies the master,
+// which recovers the affected tasks (§4.4). Set notify=false to exercise
+// heartbeat-timeout detection instead.
+func (c *Cluster) CrashComputeNode(name string, notify bool) error {
+	c.mu.Lock()
+	node, ok := c.computes[name]
+	if ok {
+		delete(c.computes, name)
+	}
+	m := c.master
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown compute node %q", name)
+	}
+	node.Crash()
+	if notify && m != nil {
+		m.NotifyNodeFailure(name)
+	}
+	return nil
+}
+
+// CrashStorageNode makes a storage node unreachable. With replication
+// enabled, clients fail over to backups; the master marks the node down in
+// the shared store view.
+func (c *Cluster) CrashStorageNode(name string) error {
+	c.mu.Lock()
+	_, ok := c.storages[name]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown storage node %q", name)
+	}
+	c.inproc.Crash(name)
+	c.store.MarkDown(name)
+	return nil
+}
+
+// CrashMaster stops the master, preserving its durable state in the work
+// bags. Compute nodes keep executing tasks from the ready bag.
+func (c *Cluster) CrashMaster() error {
+	c.mu.Lock()
+	m := c.master
+	c.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("core: no master running")
+	}
+	m.Stop()
+	return nil
+}
+
+// RecoverMaster starts a fresh master that rebuilds its execution-graph
+// state by replaying the work bags (§4.4: "when the application master
+// fails, we restart it and replay the done work bag").
+func (c *Cluster) RecoverMaster(ctx context.Context) *Master {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := c.master
+	m := NewMaster(c.app, c.store, c, c.cfg.Master)
+	// Carry over node liveness. A node known dead must have its recovery
+	// re-run: the previous master may have crashed between detecting the
+	// failure and completing (or even starting) the recovery, and the
+	// pending-recovery queue died with it. recoverNode derives the
+	// affected tasks from the running work bag, so re-running it is safe
+	// whether the old master finished the recovery or never began.
+	if old != nil {
+		old.mu.Lock()
+		var dead []string
+		for n, ns := range old.nodes {
+			copied := *ns
+			m.nodes[n] = &copied
+			if ns.dead {
+				dead = append(dead, n)
+			}
+		}
+		old.mu.Unlock()
+		for _, n := range dead {
+			m.enqueueRecovery(n)
+		}
+	}
+	c.master = m
+	// Point compute nodes' control plane at the new master.
+	for _, n := range c.computes {
+		n.setMaster(m)
+	}
+	m.Start(ctx)
+	return m
+}
+
+// ComputeNodeNames lists current compute nodes.
+func (c *Cluster) ComputeNodeNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.computes))
+	for n := range c.computes {
+		out = append(out, n)
+	}
+	return out
+}
+
+// StorageNodeNames lists current storage nodes.
+func (c *Cluster) StorageNodeNames() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.storages))
+	for n := range c.storages {
+		out = append(out, n)
+	}
+	return out
+}

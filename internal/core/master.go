@@ -1,0 +1,666 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/bag"
+)
+
+// ClusterControl is the interface through which the master exerts
+// control-plane authority over compute nodes: killing a failed task's
+// clones and checking for idle capacity before cloning.
+type ClusterControl interface {
+	// KillTask terminates all running workers of (spec, epoch) on every
+	// live compute node.
+	KillTask(spec string, epoch int)
+	// FreeSlots reports the number of idle worker slots cluster-wide.
+	FreeSlots() int
+	// TotalSlots reports the total number of worker slots cluster-wide.
+	TotalSlots() int
+}
+
+// MasterConfig tunes the application master.
+type MasterConfig struct {
+	// PollInterval is the master's tick period.
+	PollInterval time.Duration
+	// CloneInterval is the minimum gap between successive clones of one
+	// task. The paper sends clone messages at least 2 seconds apart.
+	CloneInterval time.Duration
+	// FailTimeout is the heartbeat silence after which a compute node is
+	// declared dead. Zero disables failure detection.
+	FailTimeout time.Duration
+	// StorageBandwidth (bytes/s) estimates the I/O rate used for the
+	// T_IO term of the cloning heuristic (Eq. 2).
+	StorageBandwidth float64
+	// DisableCloning turns cloning off entirely (HurricaneNC, Fig. 6).
+	DisableCloning bool
+	// SampleSlots limits input-bag sampling to k random slots (0 = all).
+	SampleSlots int
+	// DisableHeuristic makes the master accept every rate-limited clone
+	// request without evaluating Eq. 2 (used in ablations and tests).
+	DisableHeuristic bool
+	// SpeculativeCloning enables the paper's stated future work (§3.5):
+	// the master proactively clones any task still running
+	// SpeculativeAfter past its start, without waiting for an overload
+	// signal. This mitigates stragglers whose slowness is not CPU-bound
+	// (e.g. a degraded machine) — the clone steals the remaining chunks
+	// through ordinary late binding, so unlike speculative *execution*
+	// no work is redone.
+	SpeculativeCloning bool
+	// SpeculativeAfter is the straggler threshold for SpeculativeCloning
+	// (default 4 × CloneInterval).
+	SpeculativeAfter time.Duration
+}
+
+func (c *MasterConfig) fill() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 2 * time.Millisecond
+	}
+	if c.CloneInterval <= 0 {
+		c.CloneInterval = 2 * time.Second // paper default
+	}
+	if c.StorageBandwidth <= 0 {
+		c.StorageBandwidth = 1 << 30 // 1 GB/s
+	}
+	if c.SpeculativeAfter <= 0 {
+		c.SpeculativeAfter = 4 * c.CloneInterval
+	}
+}
+
+// taskState is the master's view of one task of the execution graph.
+type taskState struct {
+	spec *TaskSpec
+
+	epoch       int
+	scheduled   bool
+	workers     int          // worker indices handed out at this epoch
+	doneWorkers map[int]bool // worker indices completed at this epoch
+	mergeSched  bool
+	mergeDone   bool
+	renamed     bool
+	finished    bool
+
+	startedAt time.Time
+	lastClone time.Time
+
+	// running maps blueprint ID -> node, for failure recovery.
+	running map[string]string
+}
+
+func (st *taskState) reset(epoch int) {
+	st.epoch = epoch
+	st.scheduled = false
+	st.workers = 0
+	st.doneWorkers = make(map[int]bool)
+	st.mergeSched = false
+	st.mergeDone = false
+	st.renamed = false
+	st.finished = false
+	st.running = make(map[string]string)
+}
+
+// partials returns the partial-output bag names for the task's current
+// epoch (only meaningful for tasks with a merge procedure).
+func (st *taskState) partials() []string {
+	out := make([]string, 0, st.workers)
+	for w := 0; w < st.workers; w++ {
+		out = append(out, partialBag(st.spec.Outputs[0], w, st.epoch))
+	}
+	return out
+}
+
+type overloadMsg struct {
+	node string
+	bp   *Blueprint
+	busy float64
+}
+
+type nodeState struct {
+	lastBeat time.Time
+	running  int
+	slots    int
+	dead     bool
+}
+
+// Master is the application master (§3.1): it drives the application's
+// computation, schedules tasks as their input bags become ready, makes
+// cloning decisions, injects merge tasks, and recovers from compute-node
+// failures. All of its durable state lives in the work bags, so a crashed
+// master recovers by replaying them (§4.4).
+type Master struct {
+	app     *App
+	store   *bag.Store
+	wb      *workBags
+	cfg     MasterConfig
+	control ClusterControl
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu         sync.Mutex
+	tasks      map[string]*taskState
+	sealed     map[string]bool
+	nodes      map[string]*nodeState
+	seenEvents map[string]bool // done-event dedup across rescans
+	finished   int
+	jobErr     error
+	doneCh     chan struct{}
+	doneOnce   sync.Once
+
+	overloadCh chan overloadMsg
+	recoverCh  chan string // dead compute nodes awaiting recovery
+
+	doneScan  *bag.Scanner
+	runScan   *bag.Scanner
+	readyScan *bag.Scanner
+
+	// counters for observability and tests
+	clones       int
+	rejects      int
+	recoveries   int
+	mergeTasks   int
+	renameAdopts int
+	speculative  int
+}
+
+// NewMaster creates a master for the app. The caller must have validated
+// the app and sealed its source bags.
+func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterConfig) *Master {
+	cfg.fill()
+	m := &Master{
+		app:        app,
+		store:      store,
+		wb:         newWorkBags(store, app.Name()),
+		cfg:        cfg,
+		control:    control,
+		tasks:      make(map[string]*taskState),
+		sealed:     make(map[string]bool),
+		nodes:      make(map[string]*nodeState),
+		seenEvents: make(map[string]bool),
+		doneCh:     make(chan struct{}),
+		overloadCh: make(chan overloadMsg, 1024),
+		recoverCh:  make(chan string, 64),
+	}
+	for _, name := range app.Tasks() {
+		st := &taskState{spec: app.Task(name)}
+		st.reset(0)
+		m.tasks[name] = st
+	}
+	for _, b := range app.sourceBags() {
+		m.sealed[b] = true
+	}
+	m.doneScan = m.wb.doneScanner()
+	m.runScan = m.wb.runningScanner()
+	m.readyScan = m.wb.readyScanner()
+	return m
+}
+
+// WorkBags exposes the app's work-bag interface (used by compute nodes).
+func (m *Master) WorkBags() *workBags { return m.wb }
+
+// Start launches the master's control loop.
+func (m *Master) Start(parent context.Context) {
+	m.ctx, m.cancel = context.WithCancel(parent)
+	m.wg.Add(1)
+	go m.loop()
+}
+
+// Stop halts the master without completing the job (e.g. to simulate a
+// master crash; compute and storage nodes keep running).
+func (m *Master) Stop() {
+	if m.cancel != nil {
+		m.cancel()
+	}
+	m.wg.Wait()
+}
+
+// Done returns a channel closed when the application completes (or fails).
+func (m *Master) Done() <-chan struct{} { return m.doneCh }
+
+// Err returns the job error, if any. Valid after Done is closed.
+func (m *Master) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobErr
+}
+
+// Stats reports master activity counters.
+type MasterStats struct {
+	Clones        int // clones created
+	CloneRejects  int // clone requests rejected by the heuristic
+	MergeTasks    int // merge tasks injected
+	RenameAdopts  int // sole-worker outputs adopted by rename
+	Recoveries    int // compute-node failure recoveries
+	Speculative   int // speculative clone attempts (paper future work)
+	TasksFinished int
+}
+
+// ResealAll re-issues seal operations for every bag the master believes
+// sealed. The cluster calls this after adding a storage node (§3.4) so
+// the new node's (empty) share of already-sealed bags is marked sealed —
+// otherwise consumers created with the enlarged cluster view would wait
+// forever on the new node's unsealed empty slot.
+func (m *Master) ResealAll(ctx context.Context) error {
+	m.mu.Lock()
+	var names []string
+	for b, ok := range m.sealed {
+		if ok {
+			names = append(names, b)
+		}
+	}
+	m.mu.Unlock()
+	for _, b := range names {
+		if err := m.store.Seal(ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunningOn reports the compute nodes currently executing workers of the
+// named task (from running-bag evidence).
+func (m *Master) RunningOn(spec string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.tasks[spec]
+	if st == nil {
+		return nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, node := range st.running {
+		if !seen[node] {
+			seen[node] = true
+			out = append(out, node)
+		}
+	}
+	return out
+}
+
+// Stats returns a snapshot of activity counters.
+func (m *Master) Stats() MasterStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MasterStats{
+		Clones:        m.clones,
+		CloneRejects:  m.rejects,
+		MergeTasks:    m.mergeTasks,
+		RenameAdopts:  m.renameAdopts,
+		Recoveries:    m.recoveries,
+		Speculative:   m.speculative,
+		TasksFinished: m.finished,
+	}
+}
+
+// ---- masterAPI (control messages from compute nodes) ----
+
+// overload implements masterAPI.
+func (m *Master) overload(node string, bp *Blueprint, busy float64) {
+	select {
+	case m.overloadCh <- overloadMsg{node: node, bp: bp, busy: busy}:
+	default: // drop under pressure; overload signals are advisory
+	}
+}
+
+// heartbeat implements masterAPI.
+func (m *Master) heartbeat(node string, running, slots int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ns := m.nodes[node]
+	if ns == nil {
+		ns = &nodeState{}
+		m.nodes[node] = ns
+	}
+	ns.lastBeat = time.Now()
+	ns.running = running
+	ns.slots = slots
+	ns.dead = false
+}
+
+// ---- control loop ----
+
+func (m *Master) loop() {
+	defer m.wg.Done()
+	for {
+		if err := m.tick(); err != nil {
+			m.fail(err)
+			return
+		}
+		m.mu.Lock()
+		done := m.finished == len(m.tasks)
+		m.mu.Unlock()
+		if done {
+			m.doneOnce.Do(func() { close(m.doneCh) })
+			return
+		}
+		if !sleepCtx(m.ctx, m.cfg.PollInterval) {
+			return
+		}
+	}
+}
+
+func (m *Master) fail(err error) {
+	m.mu.Lock()
+	if m.jobErr == nil {
+		m.jobErr = err
+	}
+	m.mu.Unlock()
+	m.doneOnce.Do(func() { close(m.doneCh) })
+}
+
+// tick performs one pass of the master's control loop.
+func (m *Master) tick() error {
+	if err := m.absorbRecords(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.jobErr != nil {
+		err := m.jobErr
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	m.drainRecoveries()
+	m.drainOverloads()
+	m.speculativePass()
+	if err := m.schedulePass(); err != nil {
+		return err
+	}
+	if err := m.completionPass(); err != nil {
+		return err
+	}
+	m.failureDetectPass()
+	return nil
+}
+
+// absorbRecords folds new ready/running/done records into master state.
+// All three scans are non-consuming and idempotent, which is what lets a
+// recovered master rebuild by rescanning from the start.
+func (m *Master) absorbRecords() error {
+	if err := drainBlueprints(m.ctx, m.readyScan, func(bp *Blueprint) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.applyScheduledEvidence(bp.Spec, bp.Epoch, bp.Worker, bp.Kind == KindMerge)
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := drainEvents(m.ctx, m.runScan, func(e *event) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.applyScheduledEvidence(e.Spec, e.Epoch, e.Worker, e.Merge)
+		if st := m.tasks[e.Spec]; st != nil && e.Epoch == st.epoch {
+			if _, done := st.doneWorkers[e.Worker]; !done || e.Merge {
+				st.running[e.TaskID] = e.Node
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return drainEvents(m.ctx, m.doneScan, func(e *event) error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.applyDone(e)
+	})
+}
+
+// applyScheduledEvidence records that worker w of (spec, epoch) was
+// scheduled, whether by this master instance or a predecessor.
+func (m *Master) applyScheduledEvidence(spec string, epoch, worker int, isMerge bool) {
+	st := m.tasks[spec]
+	if st == nil || epoch < st.epoch {
+		return
+	}
+	if epoch > st.epoch {
+		// Evidence from a future epoch (scheduled by a predecessor after
+		// a recovery this instance hasn't replayed yet).
+		st.reset(epoch)
+	}
+	st.scheduled = true
+	if isMerge {
+		st.mergeSched = true
+		return
+	}
+	if worker+1 > st.workers {
+		st.workers = worker + 1
+	}
+	if st.startedAt.IsZero() {
+		st.startedAt = time.Now()
+	}
+}
+
+// applyDone folds one done-bag event into task state.
+func (m *Master) applyDone(e *event) error {
+	if m.seenEvents[e.TaskID+"/done"] {
+		return nil
+	}
+	m.seenEvents[e.TaskID+"/done"] = true
+	st := m.tasks[e.Spec]
+	if st == nil {
+		return fmt.Errorf("core: done event for unknown task %q", e.Spec)
+	}
+	if e.Epoch != st.epoch {
+		return nil // stale epoch: ignore
+	}
+	if !e.OK {
+		m.jobErr = fmt.Errorf("core: task %s failed on %s: %s", e.TaskID, e.Node, e.Err)
+		return nil
+	}
+	delete(st.running, e.TaskID)
+	if e.Merge {
+		st.mergeDone = true
+		return nil
+	}
+	m.applyScheduledEvidence(e.Spec, e.Epoch, e.Worker, false)
+	st.doneWorkers[e.Worker] = true
+	return nil
+}
+
+// schedulePass schedules every unscheduled task whose input bags are all
+// sealed ("the master ... schedules new tasks once their dependencies have
+// been completed", §4.1). Pipelined tasks are scheduled as soon as every
+// producer of their input bags is scheduled: their workers stream chunks
+// as they appear and terminate when the bags seal and drain.
+func (m *Master) schedulePass() error {
+	m.mu.Lock()
+	var toSchedule []*taskState
+	for _, name := range m.app.Tasks() {
+		st := m.tasks[name]
+		if st.scheduled || st.finished {
+			continue
+		}
+		ready := true
+		for _, in := range st.spec.Inputs {
+			if m.sealed[in] {
+				continue
+			}
+			if st.spec.Pipelined && m.producersScheduled(in) {
+				continue
+			}
+			ready = false
+			break
+		}
+		if ready {
+			for _, in := range st.spec.ScanInputs {
+				if !m.sealed[in] {
+					ready = false
+					break
+				}
+			}
+		}
+		if ready {
+			st.scheduled = true
+			st.workers = 1
+			st.startedAt = time.Now()
+			toSchedule = append(toSchedule, st)
+		}
+	}
+	m.mu.Unlock()
+	for _, st := range toSchedule {
+		bp := m.blueprintFor(st, 0)
+		if err := m.wb.pushReady(m.ctx, bp); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// producersScheduled reports whether every producer task of a bag has
+// been scheduled (pipelined consumers may then start streaming). A bag
+// with no producers and no seal never becomes ready, so source bags still
+// require sealing.
+func (m *Master) producersScheduled(bagName string) bool {
+	prods := m.app.Producers(bagName)
+	if len(prods) == 0 {
+		return false
+	}
+	for _, p := range prods {
+		if !m.tasks[p].scheduled {
+			return false
+		}
+	}
+	return true
+}
+
+// blueprintFor builds the blueprint for worker w of a task at its current
+// epoch. Tasks with a merge procedure write to private partial bags.
+func (m *Master) blueprintFor(st *taskState, w int) *Blueprint {
+	outputs := st.spec.Outputs
+	if st.spec.requiresMerge() {
+		outputs = []string{partialBag(st.spec.Outputs[0], w, st.epoch)}
+	}
+	return &Blueprint{
+		ID:         blueprintID(st.spec.Name, w, st.epoch),
+		Spec:       st.spec.Name,
+		Kind:       KindTask,
+		Worker:     w,
+		Epoch:      st.epoch,
+		Inputs:     st.spec.Inputs,
+		Outputs:    outputs,
+		ScanInputs: st.spec.ScanInputs,
+	}
+}
+
+// completionPass advances tasks whose workers have all finished: injecting
+// merge tasks, adopting sole-worker outputs by rename, sealing output
+// bags, and marking tasks finished.
+func (m *Master) completionPass() error {
+	for _, name := range m.app.Tasks() {
+		m.mu.Lock()
+		st := m.tasks[name]
+		if !st.scheduled || st.finished || st.workers == 0 || len(st.doneWorkers) < st.workers {
+			m.mu.Unlock()
+			continue
+		}
+		// All workers of the current epoch are done.
+		if !st.spec.requiresMerge() {
+			m.mu.Unlock()
+			if err := m.finishTask(st); err != nil {
+				return err
+			}
+			continue
+		}
+		switch {
+		case st.mergeDone:
+			m.mu.Unlock()
+			if err := m.finishTask(st); err != nil {
+				return err
+			}
+			if err := m.gcPartials(st); err != nil {
+				return err
+			}
+		case st.workers == 1 && !st.renamed:
+			// A task that was never cloned needs no merge: adopt the
+			// sole partial output as the final output by rename.
+			st.renamed = true
+			m.mu.Unlock()
+			if err := m.store.Rename(m.ctx, partialBag(st.spec.Outputs[0], 0, st.epoch), st.spec.Outputs[0]); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.renameAdopts++
+			st.mergeDone = true
+			m.mu.Unlock()
+		case st.workers > 1 && !st.mergeSched:
+			st.mergeSched = true
+			partials := st.partials()
+			epoch := st.epoch
+			m.mu.Unlock()
+			// Seal partials so the merge task's removes terminate.
+			for _, p := range partials {
+				if err := m.store.Seal(m.ctx, p); err != nil {
+					return err
+				}
+			}
+			mbp := &Blueprint{
+				ID:      blueprintID(st.spec.Name+"+merge", 0, epoch),
+				Spec:    st.spec.Name,
+				Kind:    KindMerge,
+				Epoch:   epoch,
+				Inputs:  partials,
+				Outputs: st.spec.Outputs,
+			}
+			if err := m.wb.pushReady(m.ctx, mbp); err != nil {
+				return err
+			}
+			m.mu.Lock()
+			m.mergeTasks++
+			m.mu.Unlock()
+		default:
+			m.mu.Unlock()
+		}
+	}
+	return nil
+}
+
+// finishTask marks a task finished and seals any output bag all of whose
+// producers have finished, making downstream tasks schedulable.
+func (m *Master) finishTask(st *taskState) error {
+	m.mu.Lock()
+	if st.finished {
+		m.mu.Unlock()
+		return nil
+	}
+	st.finished = true
+	m.finished++
+	var toSeal []string
+	for _, out := range st.spec.Outputs {
+		allDone := true
+		for _, p := range m.app.Producers(out) {
+			if !m.tasks[p].finished {
+				allDone = false
+				break
+			}
+		}
+		if allDone && !m.sealed[out] {
+			m.sealed[out] = true
+			toSeal = append(toSeal, out)
+		}
+	}
+	m.mu.Unlock()
+	for _, b := range toSeal {
+		if err := m.store.Seal(m.ctx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// gcPartials garbage-collects a task's partial bags after its merge
+// completes.
+func (m *Master) gcPartials(st *taskState) error {
+	m.mu.Lock()
+	partials := st.partials()
+	m.mu.Unlock()
+	for _, p := range partials {
+		if err := m.store.Delete(m.ctx, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/bag"
+)
+
+// masterAPI is the control-plane interface task managers use to reach the
+// application master. In the embedded engine this is the in-process
+// master; the data plane (work bags, data bags) goes through storage
+// regardless.
+type masterAPI interface {
+	// overload signals that the node is overloaded while running bp and
+	// would like the task cloned (§4.2: "each compute node can signal the
+	// application master that it is overloaded").
+	overload(node string, bp *Blueprint, busyFrac float64)
+	// heartbeat reports node liveness and current load.
+	heartbeat(node string, running, slots int)
+}
+
+// ComputeNode is a Hurricane compute node: it runs a task manager that
+// removes blueprints from the ready work bag and executes them on local
+// worker slots (§3.1).
+type ComputeNode struct {
+	name  string
+	slots int
+	store *bag.Store
+	app   *App
+	wb    *workBags
+	cfg   NodeConfig
+
+	masterMu sync.RWMutex
+	master   masterAPI
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	workers  map[string]*worker // keyed by blueprint ID
+	crashed  bool
+	draining bool
+}
+
+// NodeConfig tunes a compute node's scheduling and monitoring loops.
+type NodeConfig struct {
+	// PollInterval is the delay between ready-bag sweeps when idle.
+	PollInterval time.Duration
+	// MonitorInterval is how often worker load is sampled. The paper
+	// sends clone messages at least 2 seconds apart; tests shrink this.
+	MonitorInterval time.Duration
+	// OverloadThreshold is the busy fraction above which a worker is
+	// considered CPU-bound and a clone request is sent.
+	OverloadThreshold float64
+	// HeartbeatInterval is how often the node heartbeats the master.
+	HeartbeatInterval time.Duration
+}
+
+func (c *NodeConfig) fill() {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 5 * time.Millisecond
+	}
+	if c.MonitorInterval <= 0 {
+		c.MonitorInterval = 2 * time.Second // paper default
+	}
+	if c.OverloadThreshold <= 0 {
+		c.OverloadThreshold = 0.75
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = c.MonitorInterval / 2
+		if c.HeartbeatInterval <= 0 {
+			c.HeartbeatInterval = time.Second
+		}
+	}
+}
+
+// NewComputeNode creates a compute node with the given number of worker
+// slots. Call Start to begin executing tasks.
+func NewComputeNode(name string, slots int, store *bag.Store, app *App, wb *workBags, master masterAPI, cfg NodeConfig) *ComputeNode {
+	cfg.fill()
+	n := &ComputeNode{
+		name:    name,
+		slots:   slots,
+		store:   store,
+		app:     app,
+		wb:      wb,
+		cfg:     cfg,
+		workers: make(map[string]*worker),
+	}
+	n.master = master
+	return n
+}
+
+// setMaster repoints the node's control plane at a new master (master
+// recovery).
+func (n *ComputeNode) setMaster(m masterAPI) {
+	n.masterMu.Lock()
+	defer n.masterMu.Unlock()
+	n.master = m
+}
+
+func (n *ComputeNode) getMaster() masterAPI {
+	n.masterMu.RLock()
+	defer n.masterMu.RUnlock()
+	return n.master
+}
+
+// Name returns the node name.
+func (n *ComputeNode) Name() string { return n.name }
+
+// Start launches the node's scheduling, monitoring, and heartbeat loops.
+func (n *ComputeNode) Start(parent context.Context) {
+	n.ctx, n.cancel = context.WithCancel(parent)
+	n.wg.Add(2)
+	go n.scheduleLoop()
+	go n.monitorLoop()
+}
+
+// Stop terminates the node gracefully: it stops claiming tasks and
+// returns once its running workers have completed (§3.4: "a compute node
+// is removed by stopping its task manager after its current workers have
+// completed").
+func (n *ComputeNode) Stop() {
+	n.mu.Lock()
+	n.draining = true
+	n.mu.Unlock()
+	for {
+		n.mu.Lock()
+		idle := len(n.workers) == 0
+		n.mu.Unlock()
+		if idle {
+			break
+		}
+		time.Sleep(n.cfg.PollInterval)
+	}
+	if n.cancel != nil {
+		n.cancel()
+	}
+	n.wg.Wait()
+}
+
+// Crash simulates a compute-node failure: all workers are killed
+// immediately and the node stops heartbeating, so the master will detect
+// the failure and restart the affected tasks.
+func (n *ComputeNode) Crash() {
+	n.mu.Lock()
+	n.crashed = true
+	workers := make([]*worker, 0, len(n.workers))
+	for _, w := range n.workers {
+		workers = append(workers, w)
+	}
+	n.mu.Unlock()
+	for _, w := range workers {
+		w.kill()
+	}
+	if n.cancel != nil {
+		n.cancel()
+	}
+	n.wg.Wait()
+}
+
+// Running reports the number of workers currently executing.
+func (n *ComputeNode) Running() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.workers)
+}
+
+// Slots returns the node's worker slot count.
+func (n *ComputeNode) Slots() int { return n.slots }
+
+// KillTask kills local workers whose blueprint matches the given spec and
+// epoch, waiting until they have fully stopped. The master invokes this
+// during failure recovery to terminate all running clones of a failed task
+// (§4.4); the wait guarantees no straggling worker touches the task's bags
+// after the master starts scrubbing them.
+func (n *ComputeNode) KillTask(spec string, epoch int) {
+	n.mu.Lock()
+	var victims []*worker
+	for _, w := range n.workers {
+		if w.bp.Spec == spec && w.bp.Epoch == epoch {
+			victims = append(victims, w)
+		}
+	}
+	n.mu.Unlock()
+	for _, w := range victims {
+		w.kill()
+	}
+	for _, w := range victims {
+		<-w.done
+	}
+}
+
+func (n *ComputeNode) scheduleLoop() {
+	defer n.wg.Done()
+	ready := n.store.Bag(n.wb.readyName())
+	for {
+		if n.ctx.Err() != nil {
+			return
+		}
+		n.mu.Lock()
+		free := n.slots - len(n.workers)
+		if n.draining {
+			free = 0 // no new claims while draining
+		}
+		n.mu.Unlock()
+		if free <= 0 {
+			if !sleepCtx(n.ctx, n.cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		bp, err := n.wb.pollReady(n.ctx, ready)
+		if err != nil {
+			// ErrAgain: nothing ready. ErrEmpty cannot normally happen
+			// (the ready bag is never sealed); treat both as idle.
+			if !sleepCtx(n.ctx, n.cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		n.startWorker(bp)
+	}
+}
+
+func (n *ComputeNode) startWorker(bp *Blueprint) {
+	// Record the start before executing so the master can find the task
+	// during failure recovery.
+	if err := n.wb.recordStart(n.ctx, bp, n.name); err != nil {
+		return // node is shutting down or storage unreachable
+	}
+	w := runWorker(n.ctx, bp, n.store, n.app)
+	n.mu.Lock()
+	n.workers[bp.ID] = w
+	n.mu.Unlock()
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		<-w.done
+		n.mu.Lock()
+		delete(n.workers, bp.ID)
+		crashed := n.crashed
+		n.mu.Unlock()
+		if w.killed.Load() || crashed {
+			// Killed workers report nothing: the master already decided
+			// their fate.
+			return
+		}
+		// Use a fresh context: the node context may be cancelled by a
+		// graceful Stop racing with completion.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		n.wb.recordDone(ctx, bp, n.name, w.err)
+	}()
+}
+
+func (n *ComputeNode) monitorLoop() {
+	defer n.wg.Done()
+	for {
+		if !sleepCtx(n.ctx, n.cfg.HeartbeatInterval) {
+			return
+		}
+		n.mu.Lock()
+		running := len(n.workers)
+		snapshot := make([]*worker, 0, running)
+		for _, w := range n.workers {
+			snapshot = append(snapshot, w)
+		}
+		n.mu.Unlock()
+		master := n.getMaster()
+		master.heartbeat(n.name, running, n.slots)
+
+		// Overload detection: a worker that spent most of the interval
+		// computing (rather than waiting on storage) is CPU-bound; ask
+		// the master to clone its task. Clone messages are rate-limited
+		// by the master per task.
+		for _, w := range snapshot {
+			busy := w.tc.loadSnapshot()
+			if busy >= n.cfg.OverloadThreshold {
+				master.overload(n.name, w.bp, busy)
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps for d, returning false if the context was cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

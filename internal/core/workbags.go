@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bag"
+	"repro/internal/chunk"
+)
+
+// workBags is the distributed task-queuing interface (§4.1): three
+// unordered bags — ready, running, done — stored on the storage nodes like
+// any data bag. Compute nodes remove blueprints from the ready bag to
+// create workers; they insert start events into the running bag and
+// completion events into the done bag. The master never talks to compute
+// nodes to schedule work: it only inserts into ready and scans done, so
+// scheduling has no single point of control in the data path.
+type workBags struct {
+	store *bag.Store
+	app   string
+}
+
+func newWorkBags(store *bag.Store, app string) *workBags {
+	return &workBags{store: store, app: app}
+}
+
+func (w *workBags) readyName() string   { return w.app + "!ready" }
+func (w *workBags) runningName() string { return w.app + "!running" }
+func (w *workBags) doneName() string    { return w.app + "!done" }
+
+// pushReady schedules a blueprint by inserting it into the ready bag.
+func (w *workBags) pushReady(ctx context.Context, bp *Blueprint) error {
+	h := w.store.Bag(w.readyName())
+	if err := h.Insert(ctx, bp.Encode()); err != nil {
+		return fmt.Errorf("core: scheduling %s: %w", bp.ID, err)
+	}
+	return nil
+}
+
+// pollReady removes one blueprint from the ready bag, returning
+// bag.ErrAgain when none is available. Each call makes one sweep; task
+// managers call it from their scheduling loop.
+func (w *workBags) pollReady(ctx context.Context, h *bag.Bag) (*Blueprint, error) {
+	c, err := h.Poll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeBlueprint(c)
+}
+
+// recordStart logs that a node began executing a blueprint.
+func (w *workBags) recordStart(ctx context.Context, bp *Blueprint, node string) error {
+	e := event{TaskID: bp.ID, Spec: bp.Spec, Node: node, Epoch: bp.Epoch,
+		Worker: bp.Worker, Merge: bp.Kind == KindMerge}
+	return w.store.Bag(w.runningName()).Insert(ctx, e.encode())
+}
+
+// recordDone logs a blueprint's completion (or failure).
+func (w *workBags) recordDone(ctx context.Context, bp *Blueprint, node string, runErr error) error {
+	e := event{TaskID: bp.ID, Spec: bp.Spec, Node: node, Epoch: bp.Epoch,
+		Worker: bp.Worker, Merge: bp.Kind == KindMerge, OK: runErr == nil}
+	if runErr != nil {
+		e.Err = runErr.Error()
+	}
+	return w.store.Bag(w.doneName()).Insert(ctx, e.encode())
+}
+
+// doneScanner returns a non-consuming scanner over the done bag, so the
+// master can both tail it during normal operation and replay it from the
+// beginning after a master crash.
+func (w *workBags) doneScanner() *bag.Scanner { return w.store.Scanner(w.doneName()) }
+
+// runningScanner returns a non-consuming scanner over the running bag.
+func (w *workBags) runningScanner() *bag.Scanner { return w.store.Scanner(w.runningName()) }
+
+// readyScanner returns a non-consuming scanner over the ready bag
+// (recovery uses it to see not-yet-claimed blueprints).
+func (w *workBags) readyScanner() *bag.Scanner { return w.store.Scanner(w.readyName()) }
+
+// drainEvents applies fn to every new event visible to the scanner.
+func drainEvents(ctx context.Context, sc *bag.Scanner, fn func(*event) error) error {
+	_, err := sc.Drain(ctx, func(c chunk.Chunk) error {
+		e, err := decodeEvent(c)
+		if err != nil {
+			return err
+		}
+		return fn(e)
+	})
+	return err
+}
+
+// drainBlueprints applies fn to every new blueprint visible to the scanner.
+func drainBlueprints(ctx context.Context, sc *bag.Scanner, fn func(*Blueprint) error) error {
+	_, err := sc.Drain(ctx, func(c chunk.Chunk) error {
+		bp, err := DecodeBlueprint(c)
+		if err != nil {
+			return err
+		}
+		return fn(bp)
+	})
+	return err
+}

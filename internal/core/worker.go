@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bag"
+	"repro/internal/chunk"
+)
+
+// TaskCtx is the execution context handed to a TaskFunc. It exposes the
+// worker's input and output bags and transparently accounts busy/wait time
+// for the overload detector.
+type TaskCtx struct {
+	ctx context.Context
+	bp  *Blueprint
+
+	ins   []*bag.Bag
+	outs  []*bag.Bag
+	scans []*bag.Scanner
+
+	writers   []*chunk.Writer
+	inserters []*bag.Inserter
+
+	// load accounting (nanoseconds)
+	busyNS atomic.Int64
+	waitNS atomic.Int64
+	last   atomic.Int64 // wall-clock ns when the worker last got control
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+	chunksIn atomic.Int64
+}
+
+func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store) *TaskCtx {
+	tc := &TaskCtx{ctx: ctx, bp: bp}
+	for _, in := range bp.Inputs {
+		tc.ins = append(tc.ins, store.Bag(in))
+	}
+	for _, out := range bp.Outputs {
+		tc.outs = append(tc.outs, store.Bag(out))
+	}
+	for _, sc := range bp.ScanInputs {
+		tc.scans = append(tc.scans, store.Scanner(sc))
+	}
+	tc.writers = make([]*chunk.Writer, len(tc.outs))
+	tc.inserters = make([]*bag.Inserter, len(tc.outs))
+	tc.last.Store(time.Now().UnixNano())
+	return tc
+}
+
+// Context returns the worker's cancellation context. TaskFuncs performing
+// long computations should check it periodically.
+func (tc *TaskCtx) Context() context.Context { return tc.ctx }
+
+// Blueprint returns the worker's blueprint (ID, worker index, epoch).
+func (tc *TaskCtx) Blueprint() *Blueprint { return tc.bp }
+
+// NumInputs returns the number of input bags.
+func (tc *TaskCtx) NumInputs() int { return len(tc.ins) }
+
+// NumOutputs returns the number of output bags.
+func (tc *TaskCtx) NumOutputs() int { return len(tc.outs) }
+
+// markBusyStart transitions accounting from "worker computing" to "worker
+// waiting on storage" and returns the wait-start timestamp.
+func (tc *TaskCtx) markBusyEnd() int64 {
+	now := time.Now().UnixNano()
+	tc.busyNS.Add(now - tc.last.Load())
+	return now
+}
+
+func (tc *TaskCtx) markWaitEnd(start int64) {
+	now := time.Now().UnixNano()
+	tc.waitNS.Add(now - start)
+	tc.last.Store(now)
+}
+
+// Remove pulls the next chunk from input i. It returns bag.ErrEmpty when
+// the input is exhausted, which is the worker's termination signal.
+func (tc *TaskCtx) Remove(i int) (chunk.Chunk, error) {
+	start := tc.markBusyEnd()
+	c, err := tc.ins[i].Remove(tc.ctx)
+	tc.markWaitEnd(start)
+	if err == nil {
+		tc.bytesIn.Add(int64(len(c)))
+		tc.chunksIn.Add(1)
+	}
+	return c, err
+}
+
+// Scan reads the next chunk of scan input i without consuming it. Unlike
+// Remove, every worker of the task sees the complete bag. It returns
+// bag.ErrEmpty at the end of the (sealed) bag.
+func (tc *TaskCtx) Scan(i int) (chunk.Chunk, error) {
+	start := tc.markBusyEnd()
+	defer tc.markWaitEnd(start)
+	for {
+		c, err := tc.scans[i].Next(tc.ctx)
+		if err == bag.ErrAgain {
+			// A scheduled task's scan inputs are sealed, but seal
+			// propagation and scanning race benignly; retry.
+			if !sleepCtx(tc.ctx, time.Millisecond) {
+				return nil, tc.ctx.Err()
+			}
+			continue
+		}
+		if err == nil {
+			tc.bytesIn.Add(int64(len(c)))
+		}
+		return c, err
+	}
+}
+
+// NumScanInputs returns the number of scan inputs.
+func (tc *TaskCtx) NumScanInputs() int { return len(tc.scans) }
+
+// Insert writes one chunk to output i through the pipelined insert path.
+func (tc *TaskCtx) Insert(i int, c chunk.Chunk) error {
+	start := tc.markBusyEnd()
+	defer tc.markWaitEnd(start)
+	if tc.inserters[i] == nil {
+		tc.inserters[i] = tc.outs[i].Inserter(tc.ctx)
+	}
+	tc.bytesOut.Add(int64(len(c)))
+	return tc.inserters[i].Insert(c)
+}
+
+// Writer returns a record-framing writer for output i. Records appended to
+// it are packed into chunks of the configured size and inserted into the
+// output bag. The worker runtime flushes all writers after the TaskFunc
+// returns.
+func (tc *TaskCtx) Writer(i int) *chunk.Writer {
+	if tc.writers[i] == nil {
+		tc.writers[i] = chunk.NewWriter(tc.outs[i].Store().ChunkSize(), func(c chunk.Chunk) error {
+			return tc.Insert(i, c)
+		})
+	}
+	return tc.writers[i]
+}
+
+// InputName returns the bag name behind input i.
+func (tc *TaskCtx) InputName(i int) string { return tc.ins[i].Name() }
+
+// OutputName returns the bag name behind output i.
+func (tc *TaskCtx) OutputName(i int) string { return tc.outs[i].Name() }
+
+// BytesIn reports total input bytes consumed so far.
+func (tc *TaskCtx) BytesIn() int64 { return tc.bytesIn.Load() }
+
+// BytesOut reports total output bytes produced so far.
+func (tc *TaskCtx) BytesOut() int64 { return tc.bytesOut.Load() }
+
+// loadSnapshot returns and resets the busy/wait accounting. The task
+// manager's monitor calls this once per monitoring interval; the returned
+// busy fraction drives overload detection.
+func (tc *TaskCtx) loadSnapshot() (busyFrac float64) {
+	now := time.Now().UnixNano()
+	// Attribute the currently-accruing busy span.
+	tc.busyNS.Add(now - tc.last.Swap(now))
+	busy := tc.busyNS.Swap(0)
+	wait := tc.waitNS.Swap(0)
+	total := busy + wait
+	if total <= 0 {
+		return 0
+	}
+	return float64(busy) / float64(total)
+}
+
+// finish flushes all writers and inserters. Called by the worker runtime
+// after the TaskFunc returns successfully.
+func (tc *TaskCtx) finish() error {
+	for i, w := range tc.writers {
+		if w != nil {
+			if err := w.Flush(); err != nil {
+				return fmt.Errorf("core: flushing output %d: %w", i, err)
+			}
+		}
+	}
+	for i, ins := range tc.inserters {
+		if ins != nil {
+			if err := ins.Close(); err != nil {
+				return fmt.Errorf("core: closing output %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// close releases consumer pipelines.
+func (tc *TaskCtx) close() {
+	for _, in := range tc.ins {
+		in.CloseConsumer()
+	}
+}
+
+// worker is one executing task instance (original or clone) on a compute
+// node.
+type worker struct {
+	bp     *Blueprint
+	tc     *TaskCtx
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	killed atomic.Bool
+	err    error
+}
+
+// runWorker executes the blueprint's function and reports the outcome.
+func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *worker {
+	wctx, cancel := context.WithCancel(ctx)
+	w := &worker{
+		bp:     bp,
+		tc:     newTaskCtx(wctx, bp, store),
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(w.done)
+		defer w.tc.close()
+		spec := app.Task(bp.Spec)
+		if spec == nil {
+			w.err = fmt.Errorf("core: unknown task spec %q", bp.Spec)
+			return
+		}
+		fn := spec.Run
+		if bp.Kind == KindMerge {
+			fn = spec.Merge
+		}
+		if fn == nil {
+			w.err = fmt.Errorf("core: task %q has no function for kind %d", bp.Spec, bp.Kind)
+			return
+		}
+		if err := fn(w.tc); err != nil {
+			w.err = err
+			return
+		}
+		w.err = w.tc.finish()
+	}()
+	return w
+}
+
+// kill cancels the worker without reporting completion (used during
+// failure recovery to terminate clones of a failed task).
+func (w *worker) kill() {
+	w.killed.Store(true)
+	w.cancel()
+}

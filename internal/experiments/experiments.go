@@ -1,0 +1,701 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) from the cluster simulator and the baseline models. Each
+// function returns structured rows; Format* helpers render them in the
+// same layout the paper reports. cmd/hurricane-bench and the top-level
+// benchmark suite both call into this package, so the printed output is
+// identical either way.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// GB and friends convert the paper's size labels.
+const (
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// Skews are the paper's skew parameters.
+var Skews = workload.PaperSkews
+
+// SkewLabel formats a skew value the way the paper labels it.
+func SkewLabel(s float64) string {
+	if s == 0 {
+		return "uniform"
+	}
+	return fmt.Sprintf("s=%.1f", s)
+}
+
+// ---- Table 1: ClickLog runtime over uniform input ----
+
+// Table1Row is one cell of Table 1.
+type Table1Row struct {
+	Label   string
+	Input   float64 // bytes
+	Runtime float64 // seconds (simulated)
+	Paper   float64 // seconds (paper-reported)
+}
+
+// Table1 reproduces "ClickLog runtime over a uniform input (baseline)":
+// total input scaled from 320 MB to 3.2 TB on 32 machines.
+func Table1() []Table1Row {
+	sizes := []struct {
+		label string
+		bytes float64
+		paper float64
+	}{
+		{"320MB", 320 * MB, 5.7},
+		{"3.2GB", 3.2 * GB, 8.9},
+		{"32GB", 32 * GB, 22.8},
+		{"320GB", 320 * GB, 90},
+		{"3.2TB", 3.2 * TB, 959},
+	}
+	rows := make([]Table1Row, 0, len(sizes))
+	for _, sz := range sizes {
+		cfg := sim.Default()
+		res := sim.Run(cfg, sim.ClickLogJob(sim.ClickLogParams{TotalInput: sz.bytes}))
+		rows = append(rows, Table1Row{Label: sz.label, Input: sz.bytes, Runtime: res.Runtime, Paper: sz.paper})
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: ClickLog runtime over a uniform input (32 machines)\n")
+	fmt.Fprintf(&b, "%-8s %12s %12s\n", "Input", "Simulated", "Paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %11.1fs %11.1fs\n", r.Label, r.Runtime, r.Paper)
+	}
+	return b.String()
+}
+
+// ---- Figure 5: ClickLog slowdown with increasing skew ----
+
+// Fig5Cell is one bar of Figure 5.
+type Fig5Cell struct {
+	PerMachine string  // input per machine label
+	Skew       float64 // zipf s
+	Slowdown   float64 // runtime normalized to the uniform run of same size
+}
+
+// Figure5 reproduces "ClickLog runtime with increasing skew": slowdown
+// relative to uniform for input/machine ∈ {10MB..100GB} and
+// s ∈ {0, 0.2, 0.5, 0.8, 1.0}. The paper's headline: at most 2.4×
+// slowdown everywhere, versus the 7.1× Amdahl bound for unsplittable
+// partitions.
+func Figure5() []Fig5Cell {
+	sizes := []struct {
+		label string
+		per   float64
+	}{
+		{"10MB", 10 * MB}, {"100MB", 100 * MB}, {"1GB", 1 * GB},
+		{"10GB", 10 * GB}, {"100GB", 100 * GB},
+	}
+	var cells []Fig5Cell
+	for _, sz := range sizes {
+		total := sz.per * 32
+		base := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: total}))
+		for _, s := range Skews {
+			res := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: total, Skew: s}))
+			cells = append(cells, Fig5Cell{
+				PerMachine: sz.label,
+				Skew:       s,
+				Slowdown:   res.Runtime / base.Runtime,
+			})
+		}
+	}
+	return cells
+}
+
+// FormatFigure5 renders Figure 5 as a size × skew matrix.
+func FormatFigure5(cells []Fig5Cell) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: ClickLog slowdown vs skew (normalized to uniform, 32 machines)\n")
+	fmt.Fprintf(&b, "%-10s", "Input/mach")
+	for _, s := range Skews {
+		fmt.Fprintf(&b, " %9s", SkewLabel(s))
+	}
+	fmt.Fprintln(&b)
+	var cur string
+	for _, c := range cells {
+		if c.PerMachine != cur {
+			if cur != "" {
+				fmt.Fprintln(&b)
+			}
+			cur = c.PerMachine
+			fmt.Fprintf(&b, "%-10s", cur)
+		}
+		fmt.Fprintf(&b, " %8.2fx", c.Slowdown)
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// ---- Figure 6: partitions sweep, Hurricane vs HurricaneNC ----
+
+// Fig6Row is one bar group of Figure 6.
+type Fig6Row struct {
+	System     string // "Hurricane" or "HurricaneNC"
+	Partitions int
+	Phase      [3]float64 // per-phase runtime, seconds
+	Total      float64
+	Normalized float64 // to the uniform Hurricane baseline
+	Amdahl     float64 // best-case slowdown bound for this partition count
+}
+
+// Figure6 reproduces the static-partitioning ablation: 32 GB input at
+// s = 1, partitions from 32 to 4096, with and without cloning. Dashed
+// Amdahl bounds use the largest partition as the serial fraction.
+func Figure6() []Fig6Row {
+	const total = 32 * GB
+	base := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: total}))
+	partitionCounts := []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+	var rows []Fig6Row
+	for _, system := range []string{"HurricaneNC", "Hurricane"} {
+		for _, parts := range partitionCounts {
+			cfg := sim.Default()
+			cfg.Cloning = system == "Hurricane"
+			params := sim.ClickLogParams{TotalInput: total, Skew: 1.0, Partitions: parts}
+			if system == "HurricaneNC" {
+				// The paper splits HurricaneNC's Phase 1 statically so
+				// every node gets at least one partition.
+				params.Phase1Partitions = parts
+			}
+			res := sim.Run(cfg, sim.ClickLogJob(params))
+			f := sim.LargestPartitionFraction(workload.DefaultRegions, 1.0, parts)
+			row := Fig6Row{
+				System:     system,
+				Partitions: parts,
+				Total:      res.Runtime,
+				Normalized: res.Runtime / base.Runtime,
+				Amdahl:     workload.AmdahlBestSlowdown(f, cfg.Machines),
+			}
+			for p := 1; p <= 3; p++ {
+				row.Phase[p-1] = res.PhaseRuntime[p]
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatFigure6 renders Figure 6.
+func FormatFigure6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Hurricane vs HurricaneNC, 32GB input, s=1 (normalized to uniform)\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s %8s %8s %9s %9s\n",
+		"System", "Partitions", "Phase1", "Phase2", "Phase3", "Norm", "Amdahl")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %10d %7.1fs %7.1fs %7.1fs %8.2fx %8.2fx\n",
+			r.System, r.Partitions, r.Phase[0], r.Phase[1], r.Phase[2], r.Normalized, r.Amdahl)
+	}
+	return b.String()
+}
+
+// ---- Figures 7 and 8: cloning/spreading ablation ----
+
+// Fig78Row is one bar of Figure 7 (phase 1) / Figure 8 (phase 2).
+type Fig78Row struct {
+	Config string
+	Skew   float64
+	Phase1 float64 // seconds
+	Phase2 float64 // seconds
+}
+
+// Fig78Configs are the four ablation configurations of §5.2.
+var Fig78Configs = []struct {
+	Name    string
+	Cloning bool
+	Spread  bool
+}{
+	{"c=off,local", false, false},
+	{"c=off,spread", false, true},
+	{"c=on,local", true, false},
+	{"c=on,spread", true, true},
+}
+
+// Figures78 reproduces the cloning × spreading ablation: 8 machines,
+// 80 GB total input (10 GB per machine), per-phase runtimes.
+func Figures78() []Fig78Row {
+	const total = 80 * GB
+	var rows []Fig78Row
+	for _, c := range Fig78Configs {
+		for _, s := range Skews {
+			cfg := sim.Default()
+			cfg.Machines = 8
+			cfg.Cloning = c.Cloning
+			cfg.SpreadData = c.Spread
+			job := sim.ClickLogJob(sim.ClickLogParams{TotalInput: total, Skew: s})
+			if !c.Spread {
+				// Local placement: phase 1 input on machine 0; each
+				// region bag on its consumer task's home machine.
+				for i := range job.Tasks {
+					job.Tasks[i].Home = i % cfg.Machines
+				}
+			}
+			res := sim.Run(cfg, job)
+			rows = append(rows, Fig78Row{
+				Config: c.Name,
+				Skew:   s,
+				Phase1: res.PhaseRuntime[1],
+				Phase2: res.PhaseRuntime[2],
+			})
+		}
+	}
+	return rows
+}
+
+// FormatFigures78 renders figures 7 and 8 as two tables.
+func FormatFigures78(rows []Fig78Row) string {
+	var b strings.Builder
+	figs := []struct {
+		title string
+		sel   func(Fig78Row) float64
+	}{
+		{"Figure 7 (Phase 1 runtime, 8 machines, 80GB)", func(r Fig78Row) float64 { return r.Phase1 }},
+		{"Figure 8 (Phase 2 runtime, 8 machines, 80GB)", func(r Fig78Row) float64 { return r.Phase2 }},
+	}
+	for _, f := range figs {
+		fig, sel := f.title, f.sel
+		fmt.Fprintln(&b, fig)
+		fmt.Fprintf(&b, "%-14s", "Config")
+		for _, s := range Skews {
+			fmt.Fprintf(&b, " %9s", SkewLabel(s))
+		}
+		fmt.Fprintln(&b)
+		var cur string
+		for _, r := range rows {
+			if r.Config != cur {
+				if cur != "" {
+					fmt.Fprintln(&b)
+				}
+				cur = r.Config
+				fmt.Fprintf(&b, "%-14s", cur)
+			}
+			fmt.Fprintf(&b, " %8.0fs", sel(r))
+		}
+		fmt.Fprintln(&b)
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// ---- Figure 9: throughput over time ----
+
+// Figure9 reproduces the throughput trace: ClickLog, 320 GB, s = 1 on 32
+// machines — cloning ramp in phase 1, per-region tasks then clones up to
+// the storage bound in phase 2, merge at the end.
+func Figure9() sim.Result {
+	cfg := sim.Default()
+	return sim.Run(cfg, sim.ClickLogJob(sim.ClickLogParams{TotalInput: 320 * GB, Skew: 1.0}))
+}
+
+// FormatTimeline renders a throughput-over-time trace as an ASCII series.
+func FormatTimeline(title string, res sim.Result) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	fmt.Fprintf(&b, "%8s %15s %8s\n", "t(s)", "throughput", "workers")
+	maxTp := 0.0
+	for _, s := range res.Timeline {
+		if s.Throughput > maxTp {
+			maxTp = s.Throughput
+		}
+	}
+	step := len(res.Timeline)/60 + 1
+	for i := 0; i < len(res.Timeline); i += step {
+		s := res.Timeline[i]
+		bar := ""
+		if maxTp > 0 {
+			bar = strings.Repeat("#", int(40*s.Throughput/maxTp))
+		}
+		fmt.Fprintf(&b, "%7.0fs %12.2fGB/s %8d |%s\n", s.Time, s.Throughput/GB, s.Workers, bar)
+	}
+	fmt.Fprintf(&b, "runtime %.1fs, clones %d, merge time %.1fs\n",
+		res.Runtime, res.Clones, res.MergeTime)
+	return b.String()
+}
+
+// ---- Figure 10: batch sampling factor sweep ----
+
+// Fig10Row is one bar of Figure 10.
+type Fig10Row struct {
+	B          int
+	Runtime    float64
+	Normalized float64 // to b=1
+	Rho        float64 // analytic utilization Eq. 1
+}
+
+// Figure10 reproduces the batching-factor sweep on ClickLog Phase 1
+// (320 GB, 32 machines): prefetching overlaps compute with storage I/O;
+// b=10 is the sweet spot, b=32 overcommits.
+func Figure10() []Fig10Row {
+	bs := []int{1, 2, 3, 5, 10, 16, 32}
+	var rows []Fig10Row
+	var baseP1 float64
+	for i, b := range bs {
+		cfg := sim.Default()
+		cfg.BatchFactor = b
+		res := sim.Run(cfg, sim.ClickLogJob(sim.ClickLogParams{TotalInput: 320 * GB}))
+		p1 := res.PhaseRuntime[1]
+		if i == 0 {
+			baseP1 = p1
+		}
+		rows = append(rows, Fig10Row{
+			B: b, Runtime: p1, Normalized: p1 / baseP1,
+			Rho: sim.Utilization(b, cfg.Machines),
+		})
+	}
+	return rows
+}
+
+// FormatFigure10 renders Figure 10.
+func FormatFigure10(rows []Fig10Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 10: ClickLog Phase 1 runtime vs batching factor (norm. to b=1)")
+	fmt.Fprintf(&b, "%-6s %10s %10s %12s\n", "b", "Phase1", "Norm", "rho(b,32)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "b=%-4d %9.1fs %9.2fx %11.1f%%\n", r.B, r.Runtime, r.Normalized, 100*r.Rho)
+	}
+	return b.String()
+}
+
+// ---- Figure 11: fault tolerance trace ----
+
+// Figure11 reproduces the crash-injection trace: ClickLog on 320 GB with
+// a compute-node crash in each phase, each followed 20 s later by a
+// master crash.
+func Figure11() sim.Result {
+	cfg := sim.Default()
+	job := sim.ClickLogJob(sim.ClickLogParams{TotalInput: 320 * GB})
+	crashes := []sim.CrashEvent{
+		{Time: 20, Machine: 5},
+		{Time: 40, Machine: -1, MasterOutage: 1},
+		{Time: 70, Machine: 11},
+		{Time: 90, Machine: -1, MasterOutage: 1},
+	}
+	return sim.Run(cfg, job, crashes...)
+}
+
+// ---- Table 2: ClickLog vs Spark vs Hadoop (uniform) ----
+
+// Table2Row is one cell of Table 2.
+type Table2Row struct {
+	System  string
+	Label   string
+	Runtime float64
+	Paper   float64
+}
+
+// Table2 reproduces the uniform-input system comparison at 320 MB and
+// 32 GB.
+func Table2() []Table2Row {
+	paper := map[string]map[string]float64{
+		"Spark":     {"320MB": 8.2, "32GB": 32.4},
+		"Hadoop":    {"320MB": 37.1, "32GB": 50.3},
+		"Hurricane": {"320MB": 5.7, "32GB": 22.8},
+	}
+	sizes := []struct {
+		label string
+		bytes float64
+	}{{"320MB", 320 * MB}, {"32GB", 32 * GB}}
+	var rows []Table2Row
+	for _, sz := range sizes {
+		hur := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: sz.bytes}))
+		rows = append(rows, Table2Row{"Hurricane", sz.label, hur.Runtime, paper["Hurricane"][sz.label]})
+		for _, m := range []baseline.Model{baseline.Spark(), baseline.Hadoop()} {
+			r := m.RunClickLog(sim.Default(), sz.bytes, 0)
+			rows = append(rows, Table2Row{m.Name, sz.label, r.Runtime, paper[m.Name][sz.label]})
+		}
+	}
+	return rows
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 2: ClickLog runtime over uniform input")
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s\n", "System", "Input", "Simulated", "Paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-8s %11.1fs %11.1fs\n", r.System, r.Label, r.Runtime, r.Paper)
+	}
+	return b.String()
+}
+
+// ---- Figure 12: system comparison under skew ----
+
+// Fig12Cell is one bar of Figure 12.
+type Fig12Cell struct {
+	System   string
+	Label    string
+	Skew     float64
+	Slowdown float64 // normalized to the system's own uniform runtime
+	Crashed  bool    // Spark OOM (negative bars in the paper)
+	TimedOut bool    // exceeded one hour (full bars in the paper)
+}
+
+// Figure12 reproduces the skew comparison at 320 MB and 32 GB, each
+// system normalized to its own uniform runtime.
+func Figure12() []Fig12Cell {
+	sizes := []struct {
+		label string
+		bytes float64
+	}{{"320MB", 320 * MB}, {"32GB", 32 * GB}}
+	var cells []Fig12Cell
+	for _, sz := range sizes {
+		hurBase := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: sz.bytes}))
+		for _, s := range Skews {
+			res := sim.Run(sim.Default(), sim.ClickLogJob(sim.ClickLogParams{TotalInput: sz.bytes, Skew: s}))
+			cells = append(cells, Fig12Cell{
+				System: "Hurricane", Label: sz.label, Skew: s,
+				Slowdown: res.Runtime / hurBase.Runtime,
+			})
+		}
+		for _, m := range []baseline.Model{baseline.Spark(), baseline.Hadoop()} {
+			base := m.RunClickLog(sim.Default(), sz.bytes, 0)
+			for _, s := range Skews {
+				r := m.RunClickLog(sim.Default(), sz.bytes, s)
+				cell := Fig12Cell{System: m.Name, Label: sz.label, Skew: s}
+				switch {
+				case r.OOM:
+					cell.Crashed = true
+				case r.Runtime > 3600:
+					cell.TimedOut = true
+				default:
+					cell.Slowdown = r.Runtime / base.Runtime
+				}
+				cells = append(cells, cell)
+			}
+		}
+	}
+	return cells
+}
+
+// FormatFigure12 renders Figure 12.
+func FormatFigure12(cells []Fig12Cell) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 12: slowdown vs skew, each system normalized to its own uniform run")
+	fmt.Fprintln(&b, "(CRASH = out-of-memory kill; >1h = forcibly terminated, as in the paper)")
+	var cur string
+	for _, c := range cells {
+		key := c.Label + "/" + c.System
+		if key != cur {
+			if cur != "" {
+				fmt.Fprintln(&b)
+			}
+			cur = key
+			fmt.Fprintf(&b, "%-8s %-10s", c.Label, c.System)
+		}
+		switch {
+		case c.Crashed:
+			fmt.Fprintf(&b, " %9s", "CRASH")
+		case c.TimedOut:
+			fmt.Fprintf(&b, " %9s", ">1h")
+		default:
+			fmt.Fprintf(&b, " %8.2fx", c.Slowdown)
+		}
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}
+
+// ---- Table 3: HashJoin vs Spark ----
+
+// Table3Row is one cell of Table 3.
+type Table3Row struct {
+	System  string
+	Join    string
+	Skew    float64
+	Runtime float64
+	Paper   string
+	Timeout bool
+}
+
+// Table3 reproduces the join comparison: 3.2GB⋈32GB and 32GB⋈320GB at
+// s ∈ {0, 1}.
+func Table3() []Table3Row {
+	joins := []struct {
+		label        string
+		build, probe float64
+	}{
+		{"3.2GB x 32GB", 3.2 * GB, 32 * GB},
+		{"32GB x 320GB", 32 * GB, 320 * GB},
+	}
+	paper := map[string]map[string][2]string{
+		"Hurricane": {"3.2GB x 32GB": {"56s", "89s"}, "32GB x 320GB": {"519s", "1216s"}},
+		"Spark":     {"3.2GB x 32GB": {"81s", "1615s"}, "32GB x 320GB": {"920s", ">12h"}},
+	}
+	var rows []Table3Row
+	for _, j := range joins {
+		for si, s := range []float64{0, 1} {
+			cfg := sim.Default()
+			res := sim.Run(cfg, sim.HashJoinJob(sim.HashJoinParams{
+				BuildBytes: j.build, ProbeBytes: j.probe, Skew: s, Partitions: 32,
+			}))
+			rows = append(rows, Table3Row{
+				System: "Hurricane", Join: j.label, Skew: s,
+				Runtime: res.Runtime, Paper: paper["Hurricane"][j.label][si],
+			})
+			sp := baseline.Spark().RunHashJoin(sim.Default(), j.build, j.probe, s)
+			row := Table3Row{
+				System: "Spark", Join: j.label, Skew: s,
+				Runtime: sp.Runtime, Paper: paper["Spark"][j.label][si],
+			}
+			if sp.OOM || sp.Runtime > 12*3600 {
+				row.Timeout = true
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: HashJoin runtime (32 machines)")
+	fmt.Fprintf(&b, "%-10s %-14s %-8s %12s %10s\n", "System", "Join", "Skew", "Simulated", "Paper")
+	for _, r := range rows {
+		rt := fmt.Sprintf("%.0fs", r.Runtime)
+		if r.Timeout {
+			rt = ">12h"
+		}
+		fmt.Fprintf(&b, "%-10s %-14s %-8s %12s %10s\n",
+			r.System, r.Join, SkewLabel(r.Skew), rt, r.Paper)
+	}
+	return b.String()
+}
+
+// ---- Table 4: PageRank vs GraphX ----
+
+// Table4Row is one cell of Table 4.
+type Table4Row struct {
+	System  string
+	Graph   string
+	Runtime float64
+	Paper   string
+	Timeout bool
+}
+
+// Table4 reproduces the PageRank comparison on R-MAT graphs of scale 24,
+// 27, and 30 (5 iterations, 32 machines). Edge lists are 16 bytes/edge.
+func Table4() []Table4Row {
+	graphs := []struct {
+		label    string
+		scale    int
+		paperHur string
+		paperGX  string
+	}{
+		{"RMAT-24", 24, "38s", "189s"},
+		{"RMAT-27", 27, "225s", "3007s"},
+		{"RMAT-30", 30, "688s", ">12h"},
+	}
+	var rows []Table4Row
+	for _, g := range graphs {
+		vertices := float64(int64(1) << g.scale)
+		edges := vertices * 16 * 16  // 16 edges/vertex × 16 B/edge
+		vertexBytes := vertices * 16 // rank records
+		cfg := sim.Default()
+		res := sim.Run(cfg, sim.PageRankJob(sim.PageRankParams{
+			EdgeBytes: edges, VertexBytes: vertexBytes, Iterations: 5, DegreeSkew: 1.0,
+		}))
+		rows = append(rows, Table4Row{
+			System: "Hurricane", Graph: g.label, Runtime: res.Runtime, Paper: g.paperHur,
+		})
+		gx := baseline.GraphX().RunPageRank(sim.Default(), edges, vertexBytes, 5, 1.0)
+		row := Table4Row{System: "GraphX", Graph: g.label, Runtime: gx.Runtime, Paper: g.paperGX}
+		if gx.Crashed {
+			row.Timeout = true
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 4: PageRank, 5 iterations (32 machines)")
+	fmt.Fprintf(&b, "%-10s %-10s %12s %10s\n", "System", "Graph", "Simulated", "Paper")
+	for _, r := range rows {
+		rt := fmt.Sprintf("%.0fs", r.Runtime)
+		if r.Timeout {
+			rt = ">12h"
+		}
+		fmt.Fprintf(&b, "%-10s %-10s %12s %10s\n", r.System, r.Graph, rt, r.Paper)
+	}
+	return b.String()
+}
+
+// ---- §5.2 storage scaling and Eq. 1 utilization ----
+
+// ScalingRow is one row of the storage-scaling experiment.
+type ScalingRow struct {
+	Machines int
+	ReadBW   float64 // bytes/s
+	WriteBW  float64
+	Speedup  float64 // vs 1 machine
+}
+
+// StorageScaling reproduces §5.2's throughput experiment: aggregate
+// read/write bandwidth doubling machines 1→32 (paper: 330 MB/s → 10.53
+// GB/s read, a 31.9× speedup).
+func StorageScaling() []ScalingRow {
+	var rows []ScalingRow
+	var base float64
+	for m := 1; m <= 32; m *= 2 {
+		rho := sim.Utilization(10, m)
+		read := 330e6 * float64(m) * rho
+		write := 327e6 * float64(m) * rho
+		if m == 1 {
+			base = read
+		}
+		rows = append(rows, ScalingRow{Machines: m, ReadBW: read, WriteBW: write, Speedup: read / base})
+	}
+	return rows
+}
+
+// FormatScaling renders the storage-scaling rows.
+func FormatScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Storage scaling (§5.2): aggregate bag throughput vs machines")
+	fmt.Fprintf(&b, "%-9s %12s %12s %9s\n", "Machines", "Read", "Write", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9d %9.2fGB/s %9.2fGB/s %8.1fx\n",
+			r.Machines, r.ReadBW/GB, r.WriteBW/GB, r.Speedup)
+	}
+	return b.String()
+}
+
+// UtilizationRow is one row of the Eq. 1 table.
+type UtilizationRow struct {
+	B   int
+	Rho float64
+}
+
+// BatchUtilization tabulates Eq. 1 for the b values the paper quotes
+// (63% at b=1, 86% at b=2, 95% at b=3, >99% at b=10).
+func BatchUtilization(machines int) []UtilizationRow {
+	var rows []UtilizationRow
+	for _, b := range []int{1, 2, 3, 5, 10, 16, 32} {
+		rows = append(rows, UtilizationRow{B: b, Rho: sim.Utilization(b, machines)})
+	}
+	return rows
+}
+
+// FormatUtilization renders the Eq. 1 table.
+func FormatUtilization(rows []UtilizationRow, machines int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Eq. 1: storage utilization rho(b, m=%d)\n", machines)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "b=%-4d %6.1f%%\n", r.B, 100*r.Rho)
+	}
+	return b.String()
+}

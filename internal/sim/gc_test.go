@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// TestGCDesyncAmplifiesMergeAtScale: the 100 GB/machine desynchronized-GC
+// derating (§5.1) applies to merge work only above the threshold.
+func TestGCDesyncAmplifiesMergeAtScale(t *testing.T) {
+	mk := func(total float64) Result {
+		cfg := Default()
+		cfg.Startup = 0
+		job := Job{Tasks: []Task{{
+			Name: "m", Phase: 1, InputBytes: total,
+			OutputRatio: 0.1, CPURate: 200e6,
+			Mergeable: true, Cloneable: true,
+		}}}
+		return Run(cfg, job)
+	}
+	small := mk(32e9)   // 1 GB/machine: below the GC threshold
+	large := mk(3.2e12) // 100 GB/machine: above it
+	if small.Clones == 0 || large.Clones == 0 {
+		t.Skip("no clones, merge never exercised")
+	}
+	// Merge work per byte must be larger at scale (the ×(1+factor)).
+	smallPerByte := small.MergeTime / 32e9
+	largePerByte := large.MergeTime / 3.2e12
+	if largePerByte <= smallPerByte {
+		t.Errorf("GC desync missing: merge %.3g s/B at 100GB vs %.3g s/B at 1GB",
+			largePerByte, smallPerByte)
+	}
+}
+
+// TestMemoryModeBoundary: the memory/disk mode switch tracks the
+// per-machine input share.
+func TestMemoryModeBoundary(t *testing.T) {
+	cfg := Default()
+	inMem := newSim(cfg, Job{Tasks: []Task{{Name: "t", Phase: 1, InputBytes: 32e9, CPURate: 1e9}}}, nil)
+	if !inMem.memMode {
+		t.Error("1 GB/machine must run from memory")
+	}
+	onDisk := newSim(cfg, Job{Tasks: []Task{{Name: "t", Phase: 1, InputBytes: 320e9, CPURate: 1e9}}}, nil)
+	if onDisk.memMode {
+		t.Error("10 GB/machine must run from disk")
+	}
+	// The disk pool is far smaller than the memory pool.
+	if onDisk.pool() >= inMem.pool() {
+		t.Errorf("disk pool %.2e >= memory pool %.2e", onDisk.pool(), inMem.pool())
+	}
+}
+
+// TestOvercommitPenaltyShape: no penalty through b=16, mild beyond.
+func TestOvercommitPenaltyShape(t *testing.T) {
+	if overcommitPenalty(10) != 1 || overcommitPenalty(16) != 1 {
+		t.Error("penalty must be 1 through b=16")
+	}
+	p32 := overcommitPenalty(32)
+	if p32 >= 1 || p32 < 0.5 {
+		t.Errorf("b=32 penalty %.2f out of the mild range", p32)
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// Calibrated per-worker processing rates (bytes of input per second) for
+// the simulated applications. Derived from the paper's Figure 9 (a single
+// Phase 1 worker sustains ≈300 MB/s of aggregate I/O ≈ 200 MB/s of input)
+// and Table 1's memory-mode rows.
+const (
+	// ClickLogPhase1Rate: text parsing + geolocation per worker.
+	ClickLogPhase1Rate = 250e6
+	// ClickLogPhase2Rate: binary IP scan + bitset set per worker.
+	ClickLogPhase2Rate = 50e6
+	// ClickLogPhase1OutRatio: binary IPs are smaller than text lines.
+	ClickLogPhase1OutRatio = 0.5
+	// ClickLogPhase2OutRatio: each worker's distinct-set partial output
+	// relative to its input share (calibrated against the merge overhead
+	// the paper reports for the 10 GB/machine skewed run).
+	ClickLogPhase2OutRatio = 0.075
+	// ClickLogBitsetBytes: the compact per-region distinct structure that
+	// Phase 3 reads.
+	ClickLogBitsetBytes = 8e6
+	// JoinRate: hash build/probe per worker (calibrated so the uniform
+	// 32GB⋈320GB join lands at the paper's 519 s).
+	JoinRate = 30e6
+	// PageRankRate: edge scatter/gather per worker (calibrated against
+	// Table 4's RMAT-27 row; JVM graph processing moves a few MB/s of
+	// edge data per core).
+	PageRankRate = 30e6
+)
+
+// ClickLogParams parameterizes a simulated ClickLog job (§5.1).
+type ClickLogParams struct {
+	// TotalInput is the click log size in bytes.
+	TotalInput float64
+	// Skew is the zipf parameter s ∈ [0, 1].
+	Skew float64
+	// Regions is the number of geographic regions (paper model: 64).
+	Regions int
+	// Partitions statically splits the Phase 2 key range into this many
+	// tasks (Fig. 6); 0 means one task per region.
+	Partitions int
+	// Phase1Partitions statically splits the Phase 1 scan into this many
+	// tasks. Hurricane leaves it at 0 (a single task that clones on
+	// demand); HurricaneNC and the baselines split it so every node gets
+	// work (the paper splits "the Phase 1 input into equal-sized
+	// partitions such that each compute node is assigned at least one
+	// partition").
+	Phase1Partitions int
+}
+
+func (p *ClickLogParams) regions() int {
+	if p.Regions <= 0 {
+		return workload.DefaultRegions
+	}
+	return p.Regions
+}
+
+// ClickLogJob builds the simulated three-phase ClickLog job: Phase 1 maps
+// the log into region bags (cloneable, concat outputs), Phase 2 computes
+// per-region distinct bitsets (cloneable with an O(k·bitset) merge),
+// Phase 3 counts bits (tiny).
+func ClickLogJob(p ClickLogParams) Job {
+	weights := partitionWeights(p.regions(), p.Skew, p.Partitions)
+	var job Job
+	p1 := p.Phase1Partitions
+	if p1 <= 0 {
+		p1 = 1
+	}
+	for i := 0; i < p1; i++ {
+		job.Tasks = append(job.Tasks, Task{
+			Name:        fmt.Sprintf("phase1.%d", i),
+			Phase:       1,
+			InputBytes:  p.TotalInput / float64(p1),
+			OutputRatio: ClickLogPhase1OutRatio,
+			CPURate:     ClickLogPhase1Rate,
+			Cloneable:   true,
+		})
+	}
+	phase2Input := p.TotalInput * ClickLogPhase1OutRatio
+	for i, w := range weights {
+		job.Tasks = append(job.Tasks, Task{
+			Name:        fmt.Sprintf("phase2.%d", i),
+			Phase:       2,
+			InputBytes:  phase2Input * w,
+			OutputRatio: ClickLogPhase2OutRatio,
+			CPURate:     ClickLogPhase2Rate,
+			Mergeable:   true,
+			Cloneable:   true,
+			Home:        i, // remapped modulo machine count by local-mode experiments
+		})
+	}
+	for i := range weights {
+		job.Tasks = append(job.Tasks, Task{
+			Name:       fmt.Sprintf("phase3.%d", i),
+			Phase:      3,
+			InputBytes: ClickLogBitsetBytes,
+			CPURate:    2 * ClickLogPhase2Rate,
+			Cloneable:  false,
+		})
+	}
+	return job
+}
+
+// partitionWeights computes per-task input fractions: region weights are
+// zipf(s); with P > regions the key range is subdivided (each region's
+// keys split uniformly across P/regions sub-partitions); with P < regions
+// adjacent regions merge. P = 0 returns per-region weights.
+func partitionWeights(regions int, s float64, partitions int) []float64 {
+	rw := workload.RegionWeights(regions, s)
+	if partitions <= 0 || partitions == regions {
+		return rw
+	}
+	if partitions > regions {
+		sub := partitions / regions
+		if sub < 1 {
+			sub = 1
+		}
+		out := make([]float64, 0, regions*sub)
+		for _, w := range rw {
+			for j := 0; j < sub; j++ {
+				out = append(out, w/float64(sub))
+			}
+		}
+		return out
+	}
+	// Fewer partitions than regions: group adjacent regions.
+	group := (regions + partitions - 1) / partitions
+	out := make([]float64, 0, partitions)
+	for i := 0; i < regions; i += group {
+		end := i + group
+		if end > regions {
+			end = regions
+		}
+		var sum float64
+		for _, w := range rw[i:end] {
+			sum += w
+		}
+		out = append(out, sum)
+	}
+	return out
+}
+
+// LargestPartitionFraction exposes the biggest partition's share, the
+// serial fraction in the paper's Amdahl bound for Fig. 6.
+func LargestPartitionFraction(regions int, s float64, partitions int) float64 {
+	w := partitionWeights(regions, s, partitions)
+	max := 0.0
+	for _, x := range w {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// HashJoinParams parameterizes a simulated hash join (Table 3).
+type HashJoinParams struct {
+	// BuildBytes is the smaller relation's size.
+	BuildBytes float64
+	// ProbeBytes is the larger relation's size.
+	ProbeBytes float64
+	// Skew is the zipf parameter of the build-side key popularity, which
+	// inflates some partitions' probe hit rates.
+	Skew float64
+	// Partitions is the static partition count (paper: 32).
+	Partitions int
+	// Phase1Partitions statically splits the two partitioning scans
+	// (baselines; Hurricane relies on cloning instead).
+	Phase1Partitions int
+}
+
+// HashJoinJob builds the simulated join: Phase 1 partitions both
+// relations, Phase 2 runs one build+probe task per partition. Skew makes
+// some partitions' probe work much larger (higher hit rate ⇒ more output).
+func HashJoinJob(p HashJoinParams) Job {
+	parts := p.Partitions
+	if parts <= 0 {
+		parts = 32
+	}
+	weights := workload.RegionWeights(parts, p.Skew)
+	var job Job
+	p1 := p.Phase1Partitions
+	if p1 <= 0 {
+		p1 = 1
+	}
+	for i := 0; i < p1; i++ {
+		job.Tasks = append(job.Tasks,
+			Task{
+				Name: fmt.Sprintf("partitionR.%d", i), Phase: 1,
+				InputBytes: p.BuildBytes / float64(p1), OutputRatio: 1,
+				CPURate: JoinRate, Cloneable: true,
+			},
+			Task{
+				Name: fmt.Sprintf("partitionS.%d", i), Phase: 1,
+				InputBytes: p.ProbeBytes / float64(p1), OutputRatio: 1,
+				CPURate: JoinRate, Cloneable: true,
+			})
+	}
+	for i, w := range weights {
+		// Join work concentrates on hot keys: tuples matching a popular
+		// build key all land in one partition, so that partition's probe
+		// volume and output volume scale with the key's weight ("skew in
+		// the first (smaller) relation, causing a much larger hit rate
+		// for some keys", §5.3).
+		probeIn := p.ProbeBytes * w
+		hitAmplify := w * float64(parts) // 1.0 at uniform
+		job.Tasks = append(job.Tasks, Task{
+			Name:        fmt.Sprintf("join.%d", i),
+			Phase:       2,
+			InputBytes:  probeIn,
+			OutputRatio: hitAmplify,
+			CPURate:     JoinRate / (0.5 + 0.5*hitAmplify),
+			Cloneable:   true,
+		})
+	}
+	return job
+}
+
+// PageRankParams parameterizes a simulated PageRank run (Table 4).
+type PageRankParams struct {
+	// EdgeBytes is the edge list size (16 bytes per edge).
+	EdgeBytes float64
+	// VertexBytes is the rank vector size.
+	VertexBytes float64
+	// Iterations is the number of PageRank iterations (paper: 5).
+	Iterations int
+	// DegreeSkew is the effective skew of per-partition edge counts
+	// induced by the power-law degree distribution.
+	DegreeSkew float64
+	// InitPartitions statically splits the init scan (baselines).
+	InitPartitions int
+}
+
+// PageRankJob builds the simulated multi-stage PageRank: per iteration, a
+// cloneable scatter over the edge list (skewed by high-degree vertices)
+// and a cloneable gather with merge over contributions.
+func PageRankJob(p PageRankParams) Job {
+	var job Job
+	phase := 1
+	initParts := p.InitPartitions
+	if initParts <= 0 {
+		initParts = 1
+	}
+	for i := 0; i < initParts; i++ {
+		job.Tasks = append(job.Tasks, Task{
+			Name: fmt.Sprintf("init.%d", i), Phase: phase,
+			InputBytes: p.EdgeBytes / float64(initParts), OutputRatio: 1 + p.VertexBytes/p.EdgeBytes,
+			CPURate: PageRankRate, Cloneable: true,
+		})
+	}
+	parts := 64
+	weights := workload.RegionWeights(parts, p.DegreeSkew)
+	for it := 1; it <= p.Iterations; it++ {
+		phase++
+		for i, w := range weights {
+			job.Tasks = append(job.Tasks, Task{
+				Name:       fmt.Sprintf("scatter.%d.%d", it, i),
+				Phase:      phase,
+				InputBytes: p.EdgeBytes * w,
+				// contributions + edge copy for the next iteration
+				OutputRatio: 1.5,
+				CPURate:     PageRankRate,
+				Cloneable:   true,
+			})
+		}
+		phase++
+		// Gather: contributions bucketed by destination vertex range,
+		// one bag/task per bucket; high in-degree vertices make some
+		// buckets much heavier (the paper: "significant task cloning
+		// ... particularly for partitions with high-degree vertices").
+		for i, w := range weights {
+			job.Tasks = append(job.Tasks, Task{
+				Name:        fmt.Sprintf("gather.%d.%d", it, i),
+				Phase:       phase,
+				InputBytes:  p.EdgeBytes * 0.5 * w, // contribution records
+				OutputRatio: p.VertexBytes / (p.EdgeBytes*0.5 + 1),
+				CPURate:     PageRankRate,
+				Mergeable:   true,
+				Cloneable:   true,
+			})
+		}
+	}
+	return job
+}

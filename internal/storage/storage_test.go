@@ -1,0 +1,308 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/transport"
+)
+
+func insert(t *testing.T, n *Node, bagName string, data []byte) {
+	t.Helper()
+	resp := n.Handle(&transport.Request{Op: transport.OpInsert, Bag: bagName, Data: data})
+	if !resp.OK() {
+		t.Fatalf("insert: %+v", resp)
+	}
+}
+
+func TestNodeInsertRemoveFIFO(t *testing.T) {
+	n := NewNode("s0")
+	for i := 0; i < 10; i++ {
+		insert(t, n, "b", []byte{byte(i)})
+	}
+	n.Handle(&transport.Request{Op: transport.OpSeal, Bag: "b"})
+	for i := 0; i < 10; i++ {
+		resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+		if !resp.OK() || resp.Data[0] != byte(i) {
+			t.Fatalf("remove %d: %+v", i, resp)
+		}
+		if resp.ReadChunks != int64(i+1) {
+			t.Fatalf("remove %d: ReadChunks = %d", i, resp.ReadChunks)
+		}
+	}
+	resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if resp.Status != transport.StatusEmpty {
+		t.Fatalf("after drain: %+v", resp)
+	}
+}
+
+func TestNodeRemoveUnsealedEmpty(t *testing.T) {
+	n := NewNode("s0")
+	resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "new"})
+	if resp.Status != transport.StatusAgain {
+		t.Fatalf("unsealed empty: %+v", resp)
+	}
+}
+
+func TestNodeSealRejectsInsert(t *testing.T) {
+	n := NewNode("s0")
+	n.Handle(&transport.Request{Op: transport.OpSeal, Bag: "b"})
+	resp := n.Handle(&transport.Request{Op: transport.OpInsert, Bag: "b", Data: []byte("x")})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("insert into sealed bag: %+v", resp)
+	}
+}
+
+func TestNodeSample(t *testing.T) {
+	n := NewNode("s0")
+	insert(t, n, "b", []byte("abc"))
+	insert(t, n, "b", []byte("de"))
+	n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	resp := n.Handle(&transport.Request{Op: transport.OpSample, Bag: "b"})
+	if resp.TotalChunks != 2 || resp.ReadChunks != 1 || resp.TotalBytes != 5 || resp.ReadBytes != 3 {
+		t.Fatalf("sample: %+v", resp)
+	}
+	// Sampling a nonexistent bag reports zeroes without creating it.
+	resp = n.Handle(&transport.Request{Op: transport.OpSample, Bag: "ghost"})
+	if !resp.OK() || resp.TotalChunks != 0 {
+		t.Fatalf("ghost sample: %+v", resp)
+	}
+	if len(n.BagNames()) != 1 {
+		t.Fatalf("ghost bag was created: %v", n.BagNames())
+	}
+}
+
+func TestNodeRewindAndReplay(t *testing.T) {
+	n := NewNode("s0")
+	for i := 0; i < 5; i++ {
+		insert(t, n, "b", []byte{byte(i)})
+	}
+	for i := 0; i < 5; i++ {
+		n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	}
+	n.Handle(&transport.Request{Op: transport.OpRewind, Bag: "b", Arg: 0})
+	resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if !resp.OK() || resp.Data[0] != 0 {
+		t.Fatalf("replay after rewind: %+v", resp)
+	}
+	// Rewind to a mid position.
+	n.Handle(&transport.Request{Op: transport.OpRewind, Bag: "b", Arg: 3})
+	resp = n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if !resp.OK() || resp.Data[0] != 3 {
+		t.Fatalf("rewind(3): %+v", resp)
+	}
+	// Out-of-range rewind errors.
+	resp = n.Handle(&transport.Request{Op: transport.OpRewind, Bag: "b", Arg: 99})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("rewind(99): %+v", resp)
+	}
+}
+
+func TestNodeAdvanceMonotonic(t *testing.T) {
+	n := NewNode("s0")
+	for i := 0; i < 5; i++ {
+		insert(t, n, "b", []byte{byte(i)})
+	}
+	n.Handle(&transport.Request{Op: transport.OpAdvance, Bag: "b", Arg: 3})
+	// Advancing backward is a no-op.
+	n.Handle(&transport.Request{Op: transport.OpAdvance, Bag: "b", Arg: 1})
+	resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if !resp.OK() || resp.Data[0] != 3 {
+		t.Fatalf("after advance: %+v", resp)
+	}
+	// Advancing past the end clamps.
+	n.Handle(&transport.Request{Op: transport.OpAdvance, Bag: "b", Arg: 100})
+	resp = n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if resp.Status != transport.StatusAgain {
+		t.Fatalf("after clamped advance: %+v", resp)
+	}
+}
+
+func TestNodeDiscard(t *testing.T) {
+	n := NewNode("s0")
+	insert(t, n, "b", []byte("x"))
+	n.Handle(&transport.Request{Op: transport.OpSeal, Bag: "b"})
+	n.Handle(&transport.Request{Op: transport.OpDiscard, Bag: "b"})
+	resp := n.Handle(&transport.Request{Op: transport.OpSample, Bag: "b"})
+	if resp.TotalChunks != 0 || resp.Sealed {
+		t.Fatalf("after discard: %+v", resp)
+	}
+	// Discarded bags accept inserts again (restart path).
+	insert(t, n, "b", []byte("y"))
+}
+
+func TestNodeDelete(t *testing.T) {
+	n := NewNode("s0")
+	insert(t, n, "b", []byte("x"))
+	n.Handle(&transport.Request{Op: transport.OpDelete, Bag: "b"})
+	if len(n.BagNames()) != 0 {
+		t.Fatalf("bag not deleted: %v", n.BagNames())
+	}
+	// Deleting a nonexistent bag succeeds (idempotent GC).
+	resp := n.Handle(&transport.Request{Op: transport.OpDelete, Bag: "ghost"})
+	if !resp.OK() {
+		t.Fatalf("delete ghost: %+v", resp)
+	}
+}
+
+func TestNodeRename(t *testing.T) {
+	n := NewNode("s0")
+	insert(t, n, "src", []byte("x"))
+	resp := n.Handle(&transport.Request{Op: transport.OpRename, Bag: "src", Dst: "dst"})
+	if !resp.OK() {
+		t.Fatalf("rename: %+v", resp)
+	}
+	got := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "dst"})
+	if !got.OK() || string(got.Data) != "x" {
+		t.Fatalf("read renamed: %+v", got)
+	}
+	// Renaming a missing source succeeds (the slot simply holds nothing).
+	resp = n.Handle(&transport.Request{Op: transport.OpRename, Bag: "missing", Dst: "other"})
+	if !resp.OK() {
+		t.Fatalf("rename missing: %+v", resp)
+	}
+	// Renaming onto an existing bag fails.
+	insert(t, n, "a", []byte("1"))
+	insert(t, n, "b", []byte("2"))
+	resp = n.Handle(&transport.Request{Op: transport.OpRename, Bag: "a", Dst: "b"})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("rename onto existing: %+v", resp)
+	}
+}
+
+func TestNodeReadAt(t *testing.T) {
+	n := NewNode("s0")
+	for i := 0; i < 3; i++ {
+		insert(t, n, "b", []byte{byte(i)})
+	}
+	// ReadAt does not consume.
+	for pass := 0; pass < 2; pass++ {
+		for i := int64(0); i < 3; i++ {
+			resp := n.Handle(&transport.Request{Op: transport.OpReadAt, Bag: "b", Arg: i})
+			if !resp.OK() || resp.Data[0] != byte(i) {
+				t.Fatalf("readAt %d: %+v", i, resp)
+			}
+		}
+	}
+	resp := n.Handle(&transport.Request{Op: transport.OpReadAt, Bag: "b", Arg: 3})
+	if resp.Status != transport.StatusAgain {
+		t.Fatalf("readAt past end (unsealed): %+v", resp)
+	}
+	n.Handle(&transport.Request{Op: transport.OpSeal, Bag: "b"})
+	resp = n.Handle(&transport.Request{Op: transport.OpReadAt, Bag: "b", Arg: 3})
+	if resp.Status != transport.StatusEmpty {
+		t.Fatalf("readAt past end (sealed): %+v", resp)
+	}
+}
+
+func TestNodeDraining(t *testing.T) {
+	n := NewNode("s0")
+	insert(t, n, "b", []byte("x"))
+	n.SetDraining(true)
+	resp := n.Handle(&transport.Request{Op: transport.OpInsert, Bag: "b", Data: []byte("y")})
+	if resp.Status != transport.StatusRemoved {
+		t.Fatalf("insert while draining: %+v", resp)
+	}
+	// Removes still served while draining (§3.4).
+	resp = n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if !resp.OK() || string(resp.Data) != "x" {
+		t.Fatalf("remove while draining: %+v", resp)
+	}
+	n.SetDraining(false)
+	insert(t, n, "b", []byte("z"))
+}
+
+func TestDiskBackendPersistence(t *testing.T) {
+	dir := t.TempDir()
+	n := NewNode("s0", WithDir(dir))
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		data := bytes.Repeat([]byte{byte(i)}, i+1)
+		want = append(want, data)
+		insert(t, n, "b", data)
+	}
+	// Consume a few, then "restart" the node by reopening the directory.
+	for i := 0; i < 5; i++ {
+		n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	}
+	n2 := NewNode("s0", WithDir(dir))
+	// The restarted node rebuilds the chunk index from the file; the read
+	// pointer resets (the master rewinds/restarts affected tasks).
+	for i := 0; i < 20; i++ {
+		resp := n2.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+		if !resp.OK() || !bytes.Equal(resp.Data, want[i]) {
+			t.Fatalf("after restart, chunk %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestDiskBackendOps(t *testing.T) {
+	dir := t.TempDir()
+	n := NewNode("s0", WithDir(dir))
+	for i := 0; i < 10; i++ {
+		insert(t, n, "b", []byte{byte(i)})
+	}
+	n.Handle(&transport.Request{Op: transport.OpRewind, Bag: "b", Arg: 7})
+	resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+	if !resp.OK() || resp.Data[0] != 7 {
+		t.Fatalf("disk rewind: %+v", resp)
+	}
+	resp = n.Handle(&transport.Request{Op: transport.OpReadAt, Bag: "b", Arg: 2})
+	if !resp.OK() || resp.Data[0] != 2 {
+		t.Fatalf("disk readAt: %+v", resp)
+	}
+	resp = n.Handle(&transport.Request{Op: transport.OpSample, Bag: "b"})
+	if resp.TotalChunks != 10 || resp.ReadChunks != 8 {
+		t.Fatalf("disk sample: %+v", resp)
+	}
+	n.Handle(&transport.Request{Op: transport.OpDiscard, Bag: "b"})
+	resp = n.Handle(&transport.Request{Op: transport.OpSample, Bag: "b"})
+	if resp.TotalBytes != 0 {
+		t.Fatalf("disk discard: %+v", resp)
+	}
+	n.Handle(&transport.Request{Op: transport.OpDelete, Bag: "b"})
+}
+
+// TestExactlyOnceProperty: however inserts and removes interleave, each
+// chunk is returned exactly once per rewind cycle.
+func TestExactlyOnceProperty(t *testing.T) {
+	f := func(numChunks uint8) bool {
+		n := NewNode("s0")
+		total := int(numChunks%64) + 1
+		for i := 0; i < total; i++ {
+			resp := n.Handle(&transport.Request{
+				Op: transport.OpInsert, Bag: "b",
+				Data: []byte(fmt.Sprintf("c%d", i)),
+			})
+			if !resp.OK() {
+				return false
+			}
+		}
+		n.Handle(&transport.Request{Op: transport.OpSeal, Bag: "b"})
+		seen := map[string]bool{}
+		for {
+			resp := n.Handle(&transport.Request{Op: transport.OpRemove, Bag: "b"})
+			if resp.Status == transport.StatusEmpty {
+				break
+			}
+			if !resp.OK() || seen[string(resp.Data)] {
+				return false
+			}
+			seen[string(resp.Data)] = true
+		}
+		return len(seen) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownOp(t *testing.T) {
+	n := NewNode("s0")
+	resp := n.Handle(&transport.Request{Op: transport.Op(99)})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("unknown op: %+v", resp)
+	}
+}

@@ -1,0 +1,100 @@
+package transport
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// InProc is an in-process transport: a registry of storage-node handlers
+// addressed by name. It supports latency injection (to exercise the batch
+// sampling pipeline) and crash injection (to exercise failure recovery).
+// It implements Client; one InProc can be shared by any number of
+// concurrent callers.
+type InProc struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	down     map[string]bool
+
+	// Latency, if non-zero, is added to every call.
+	latency atomic.Int64 // nanoseconds
+
+	// stats
+	calls atomic.Int64
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{
+		handlers: make(map[string]Handler),
+		down:     make(map[string]bool),
+	}
+}
+
+// Register installs the handler for a named storage node. Re-registering a
+// name replaces the previous handler (used when a node restarts).
+func (t *InProc) Register(node string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[node] = h
+	delete(t.down, node)
+}
+
+// Deregister removes a node from the registry.
+func (t *InProc) Deregister(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.handlers, node)
+	delete(t.down, node)
+}
+
+// SetLatency injects d of artificial latency into every call.
+func (t *InProc) SetLatency(d time.Duration) { t.latency.Store(int64(d)) }
+
+// Crash marks a node as down: calls to it fail with ErrNodeDown until
+// Restore (or Register) is called. The handler's state is preserved,
+// modelling a network partition or process crash with durable storage.
+func (t *InProc) Crash(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[node] = true
+}
+
+// Restore brings a crashed node back.
+func (t *InProc) Restore(node string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, node)
+}
+
+// Calls reports the total number of calls issued through this transport.
+func (t *InProc) Calls() int64 { return t.calls.Load() }
+
+// Call implements Client.
+func (t *InProc) Call(ctx context.Context, node string, req *Request) (*Response, error) {
+	t.calls.Add(1)
+	if d := time.Duration(t.latency.Load()); d > 0 {
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		}
+	}
+	t.mu.RLock()
+	h, ok := t.handlers[node]
+	isDown := t.down[node]
+	t.mu.RUnlock()
+	if !ok || isDown {
+		return nil, ErrNodeDown
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return h.Handle(req), nil
+}
+
+// Close implements Client. It is a no-op for the in-process transport.
+func (t *InProc) Close() error { return nil }

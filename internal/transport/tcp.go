@@ -1,0 +1,234 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPServer serves the storage protocol over TCP for a single storage node.
+type TCPServer struct {
+	Handler Handler
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewTCPServer returns a server dispatching requests to h.
+func NewTCPServer(h Handler) *TCPServer {
+	return &TCPServer{Handler: h, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and begins accepting
+// connections in the background. It returns the bound address.
+func (s *TCPServer) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *TCPServer) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<20)
+	bw := bufio.NewWriterSize(conn, 1<<20)
+	var buf []byte
+	for {
+		body, err := readMessage(br)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(body)
+		var resp *Response
+		if err != nil {
+			resp = &Response{Status: StatusErr, Err: err.Error()}
+		} else {
+			resp = s.Handler.Handle(req)
+		}
+		buf = EncodeResponse(buf[:0], resp)
+		if err := writeMessage(bw, buf); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and closes all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// TCPClient implements Client over TCP. Node names are resolved to
+// addresses through the Addrs map supplied at construction. Each node gets
+// a small connection pool so that batch sampling's concurrent requests do
+// not serialize on one socket.
+type TCPClient struct {
+	addrs map[string]string
+
+	mu     sync.Mutex
+	idle   map[string][]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+// NewTCPClient returns a client that reaches each named node at the given
+// TCP address.
+func NewTCPClient(addrs map[string]string) *TCPClient {
+	m := make(map[string]string, len(addrs))
+	for k, v := range addrs {
+		m[k] = v
+	}
+	return &TCPClient{addrs: m, idle: make(map[string][]*tcpConn)}
+}
+
+// SetAddr adds or updates a node's address (used when storage nodes are
+// added at runtime, §3.4).
+func (c *TCPClient) SetAddr(node, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[node] = addr
+	c.idle[node] = nil
+}
+
+var errClientClosed = errors.New("transport: client closed")
+
+func (c *TCPClient) get(node string) (*tcpConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	pool := c.idle[node]
+	if n := len(pool); n > 0 {
+		tc := pool[n-1]
+		c.idle[node] = pool[:n-1]
+		c.mu.Unlock()
+		return tc, nil
+	}
+	addr, ok := c.addrs[node]
+	c.mu.Unlock()
+	if !ok {
+		return nil, ErrNodeDown
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, ErrNodeDown
+	}
+	return &tcpConn{
+		c:  conn,
+		br: bufio.NewReaderSize(conn, 1<<20),
+		bw: bufio.NewWriterSize(conn, 1<<20),
+	}, nil
+}
+
+func (c *TCPClient) put(node string, tc *tcpConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		tc.c.Close()
+		return
+	}
+	c.idle[node] = append(c.idle[node], tc)
+}
+
+// Call implements Client.
+func (c *TCPClient) Call(ctx context.Context, node string, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	tc, err := c.get(node)
+	if err != nil {
+		return nil, err
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		tc.c.SetDeadline(deadline)
+	} else {
+		tc.c.SetDeadline(zeroTime)
+	}
+	body := EncodeRequest(nil, req)
+	if err := writeMessage(tc.bw, body); err != nil {
+		tc.c.Close()
+		return nil, ErrNodeDown
+	}
+	respBody, err := readMessage(tc.br)
+	if err != nil {
+		tc.c.Close()
+		return nil, ErrNodeDown
+	}
+	resp, err := DecodeResponse(respBody)
+	if err != nil {
+		tc.c.Close()
+		return nil, err
+	}
+	c.put(node, tc)
+	return resp, nil
+}
+
+// Close implements Client.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, pool := range c.idle {
+		for _, tc := range pool {
+			tc.c.Close()
+		}
+	}
+	c.idle = make(map[string][]*tcpConn)
+	return nil
+}
+
+// zeroTime clears a connection deadline.
+var zeroTime = time.Time{}

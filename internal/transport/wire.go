@@ -1,0 +1,186 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format: each message is a uvarint total-length prefix followed by the
+// message body. Bodies use uvarint/varint fields in a fixed order; chunk
+// payloads are length-prefixed byte strings.
+
+const maxMessageSize = 64 << 20 // 64 MB, generous for 4 MB chunks
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+type decoder struct {
+	b []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("transport: truncated uvarint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("transport: truncated varint")
+	}
+	d.b = d.b[n:]
+	return v, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	size, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(d.b)) < size {
+		return nil, fmt.Errorf("transport: truncated bytes field")
+	}
+	out := d.b[:size]
+	d.b = d.b[size:]
+	return out, nil
+}
+
+func (d *decoder) string() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+// EncodeRequest serializes req, appending to buf.
+func EncodeRequest(buf []byte, req *Request) []byte {
+	buf = append(buf, byte(req.Op))
+	buf = appendString(buf, req.Bag)
+	buf = appendString(buf, req.Dst)
+	buf = binary.AppendVarint(buf, req.Arg)
+	buf = appendBytes(buf, req.Data)
+	return buf
+}
+
+// DecodeRequest parses a request body.
+func DecodeRequest(body []byte) (*Request, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("transport: empty request")
+	}
+	d := &decoder{b: body[1:]}
+	req := &Request{Op: Op(body[0])}
+	var err error
+	if req.Bag, err = d.string(); err != nil {
+		return nil, err
+	}
+	if req.Dst, err = d.string(); err != nil {
+		return nil, err
+	}
+	if req.Arg, err = d.varint(); err != nil {
+		return nil, err
+	}
+	data, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 {
+		req.Data = append([]byte(nil), data...)
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes resp, appending to buf.
+func EncodeResponse(buf []byte, resp *Response) []byte {
+	buf = binary.AppendUvarint(buf, uint64(resp.Status))
+	buf = appendString(buf, resp.Err)
+	buf = binary.AppendVarint(buf, resp.TotalChunks)
+	buf = binary.AppendVarint(buf, resp.ReadChunks)
+	buf = binary.AppendVarint(buf, resp.TotalBytes)
+	buf = binary.AppendVarint(buf, resp.ReadBytes)
+	if resp.Sealed {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = appendBytes(buf, resp.Data)
+	return buf
+}
+
+// DecodeResponse parses a response body.
+func DecodeResponse(body []byte) (*Response, error) {
+	d := &decoder{b: body}
+	resp := &Response{}
+	status, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	resp.Status = int(status)
+	if resp.Err, err = d.string(); err != nil {
+		return nil, err
+	}
+	if resp.TotalChunks, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if resp.ReadChunks, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if resp.TotalBytes, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if resp.ReadBytes, err = d.varint(); err != nil {
+		return nil, err
+	}
+	if len(d.b) < 1 {
+		return nil, fmt.Errorf("transport: truncated response")
+	}
+	resp.Sealed = d.b[0] == 1
+	d.b = d.b[1:]
+	data, err := d.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 {
+		resp.Data = append([]byte(nil), data...)
+	}
+	return resp, nil
+}
+
+// writeMessage writes a length-prefixed message.
+func writeMessage(w *bufio.Writer, body []byte) error {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(body)))
+	if _, err := w.Write(tmp[:n]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readMessage reads a length-prefixed message.
+func readMessage(r *bufio.Reader) ([]byte, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > maxMessageSize {
+		return nil, fmt.Errorf("transport: message too large (%d bytes)", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
