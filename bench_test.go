@@ -262,6 +262,73 @@ func BenchmarkEnginePageRank(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSkewedShuffle compares static hash partitioning against
+// skew-aware hot-partition splitting on a Zipf(s=1.3) keyed groupby (the
+// acceptance workload for the shuffle subsystem: 4 base partitions, 8
+// consumer slots, one key holding ≈a third of the records). Both variants
+// run one reducer per physical partition (classic static partitioning:
+// the aggregate stage is NoClone, isolating the partitioning axis from
+// Hurricane's cloning axis), and the aggregation pays a simulated 5µs
+// per-record cost so consumer load dominates end-to-end time. The
+// "static" variant pins the 4-partition hash layout, serializing the hot
+// partition on one consumer; "skew-aware" lets the master re-hash hot
+// partitions and spread heavy-hitter keys at runtime. Baseline numbers
+// live in BENCH_shuffle.json.
+func BenchmarkEngineSkewedShuffle(b *testing.B) {
+	const parts = 4
+	gen := workload.RelationGen{Keys: 64, S: 1.3, Seed: 9}
+	tuples := gen.Generate(200000)
+
+	run := func(b *testing.B, disableSplitting bool) {
+		b.SetBytes(int64(len(tuples)) * 16)
+		for i := 0; i < b.N; i++ {
+			cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
+				StorageNodes: 4,
+				ComputeNodes: 4,
+				SlotsPerNode: 2,
+				ChunkSize:    4 << 10,
+				Node: hurricane.NodeConfig{
+					PollInterval:      time.Millisecond,
+					MonitorInterval:   2 * time.Millisecond,
+					HeartbeatInterval: 2 * time.Millisecond,
+					OverloadThreshold: 0.1,
+				},
+				Master: hurricane.MasterConfig{
+					PollInterval:     time.Millisecond,
+					CloneInterval:    2 * time.Millisecond,
+					DisableHeuristic: true, // let the shuffle producers clone freely (both variants)
+					DisableSplitting: disableSplitting,
+					SplitInterval:    2 * time.Millisecond,
+					SplitFan:         4,
+					SplitImbalance:   1.5, // the hot partition holds ~42%, 1.7× the 4-partition mean
+					SplitMinRecords:  8192,
+				},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			if err := apps.LoadGroupBy(ctx, cluster.Store(), tuples); err != nil {
+				b.Fatal(err)
+			}
+			app := apps.GroupByApp(parts, true, true, 5000)
+			spec := app.BagSpecFor(apps.GroupByShuf)
+			spec.SketchEvery, spec.PollEvery = 512, 256
+			if err := cluster.Run(ctx, app); err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 && !disableSplitting {
+				st := cluster.Master().Stats()
+				b.ReportMetric(float64(st.Splits), "splits")
+				b.ReportMetric(float64(st.Isolations), "isolations")
+			}
+			cluster.Shutdown()
+		}
+	}
+	b.Run("static", func(b *testing.B) { run(b, true) })
+	b.Run("skew-aware", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkEngineBagThroughput measures raw bag insert+remove throughput
 // through the in-process transport.
 func BenchmarkEngineBagThroughput(b *testing.B) {

@@ -9,8 +9,10 @@
 //	hurricane-run -storage storage-0=127.0.0.1:7070,storage-1=127.0.0.1:7071 \
 //	    -records 200000 -skew 1.0
 //
-// The job is the paper's ClickLog application; results are verified
-// against an in-process oracle.
+// The job (-job) is the paper's ClickLog application or the skew-aware
+// shuffle groupby (whose partitioned bags, producer sketches, and
+// hot-partition splits then run against the remote storage tier over
+// TCP); results are verified against an in-process oracle.
 package main
 
 import (
@@ -31,10 +33,12 @@ import (
 
 func main() {
 	storageFlag := flag.String("storage", "", "comma-separated name=addr storage nodes")
-	records := flag.Int("records", 200000, "click records to generate")
+	job := flag.String("job", "clicklog", "job to run: clicklog | groupby")
+	records := flag.Int("records", 200000, "records to generate")
 	skew := flag.Float64("skew", 1.0, "zipf skew s")
 	computes := flag.Int("computes", 4, "compute nodes in this process")
 	slots := flag.Int("slots", 2, "worker slots per compute node")
+	parts := flag.Int("parts", 4, "groupby: base shuffle partitions")
 	flag.Parse()
 
 	addrs := map[string]string{}
@@ -70,6 +74,15 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+
+	switch *job {
+	case "groupby":
+		runGroupBy(ctx, store, names, *records, *skew, *computes, *slots, *parts)
+		return
+	case "clicklog":
+	default:
+		log.Fatalf("unknown -job %q (want clicklog or groupby)", *job)
+	}
 
 	const regions, hostBits = 16, 12
 	fmt.Printf("generating %d clicks (s=%.1f), loading onto %d storage nodes...\n",
@@ -112,6 +125,67 @@ func main() {
 		len(names), regions-bad, regions, elapsed)
 	fmt.Printf("master stats: %+v\n", cluster.Master().Stats())
 	if bad > 0 {
+		log.Fatal("verification failed")
+	}
+}
+
+// runGroupBy executes the skew-aware shuffle groupby against the remote
+// storage tier: partition bags, the pmap control bag, and OpSketch pushes
+// all travel over TCP.
+func runGroupBy(ctx context.Context, store *bag.Store, names []string, records int, skew float64, computes, slots, parts int) {
+	fmt.Printf("generating %d tuples (s=%.1f), loading onto %d storage nodes...\n",
+		records, skew, len(names))
+	gen := workload.RelationGen{Keys: 64, S: skew, Seed: 9}
+	tuples := gen.Generate(records)
+	want := make(map[uint64]int64)
+	for _, t := range tuples {
+		want[t.Key]++
+	}
+	if err := apps.LoadGroupBy(ctx, store, tuples); err != nil {
+		log.Fatal(err)
+	}
+
+	cluster := core.NewClusterOverStore(store, core.ClusterConfig{
+		ComputeNodes: computes,
+		SlotsPerNode: slots,
+		Master: core.MasterConfig{
+			CloneInterval:   50 * time.Millisecond,
+			SplitInterval:   20 * time.Millisecond,
+			SplitImbalance:  1.5,
+			SplitMinRecords: 4096,
+			SplitFan:        4,
+		},
+		Node: core.NodeConfig{
+			MonitorInterval:   25 * time.Millisecond,
+			OverloadThreshold: 0.5,
+		},
+	})
+	app := apps.GroupByApp(parts, true, false, 0)
+	spec := app.BagSpecFor(apps.GroupByShuf)
+	spec.SketchEvery, spec.PollEvery = 512, 256
+	start := time.Now()
+	if err := cluster.Run(ctx, app); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	defer cluster.Shutdown()
+
+	got, err := apps.CollectGroupBy(ctx, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bad := 0
+	for k, n := range want {
+		if got[k].Count != n {
+			fmt.Printf("key %d: got %d want %d\n", k, got[k].Count, n)
+			bad++
+		}
+	}
+	st := cluster.Master().Stats()
+	fmt.Printf("groupby on %d remote storage nodes: %d/%d keys correct in %v\n",
+		len(names), len(want)-bad, len(want), elapsed)
+	fmt.Printf("master stats: %+v\n", st)
+	if bad > 0 || len(got) != len(want) {
 		log.Fatal("verification failed")
 	}
 }

@@ -1,0 +1,89 @@
+package hurricane
+
+import (
+	"fmt"
+
+	"repro/internal/shuffle"
+)
+
+// The skew-aware shuffle (internal/shuffle) partitions a logical bag by
+// key onto P physical partition bags. Declare a partitioned bag with
+// App.PartitionedBag (or AddBag with BagSpec.Partitions, plus
+// BagSpec.Spread to permit record-level spreading of isolated heavy
+// hitters), write it from producer tasks with a PartitionedWriter, and
+// consume it like any bag: the engine runs one consumer worker per
+// physical partition. While producers run, they feed key counts into a
+// per-edge count-min sketch; the application master watches the merged
+// sketch and splits hot partitions at runtime, so skewed keyed workloads
+// spread across consumers instead of serializing on one bag.
+
+// Partitioner maps a record key to one of n base partitions. Implementations
+// must be deterministic and shared by all producers of an edge.
+type Partitioner = shuffle.Partitioner
+
+// HashPartitioner is the default partitioner (FNV-1a modulo n).
+type HashPartitioner = shuffle.HashPartitioner
+
+// PartitionedWriter routes typed records by key into the physical
+// partition bags of a partitioned output, adopting partition-map updates
+// published by the master mid-stream. Create one per producer worker with
+// NewPartitionedWriter; the engine flushes it automatically when the task
+// completes.
+type PartitionedWriter[T any] struct {
+	w     *shuffle.Writer
+	codec Codec[T]
+	key   func(T) []byte
+	buf   []byte
+	kbuf  []byte
+}
+
+// NewPartitionedWriter returns a partitioned writer for output out, which
+// must be declared with BagSpec.Partitions > 0 (it panics otherwise, like
+// a type error). key extracts the routing key from a record; records with
+// equal keys land in the same partition unless the master isolates the key
+// with record-level spreading (BagSpec.Spread).
+func NewPartitionedWriter[T any](tc *TaskCtx, out int, codec Codec[T], key func(T) []byte) *PartitionedWriter[T] {
+	return NewPartitionedWriterWith(tc, out, codec, key, nil)
+}
+
+// NewPartitionedWriterWith is NewPartitionedWriter with a custom base
+// partitioner (nil means the default HashPartitioner). All producers of an
+// edge must use the same partitioner.
+func NewPartitionedWriterWith[T any](tc *TaskCtx, out int, codec Codec[T], key func(T) []byte, part Partitioner) *PartitionedWriter[T] {
+	spec := tc.OutputBagSpec(out)
+	if spec == nil || spec.Partitions <= 0 {
+		panic(fmt.Sprintf("hurricane: output bag %q is not partitioned", tc.OutputName(out)))
+	}
+	w := shuffle.NewWriter(tc.Context(), shuffle.WriterConfig{
+		Store:       tc.Store(),
+		Edge:        tc.OutputName(out),
+		Parts:       spec.Partitions,
+		WriterID:    tc.Blueprint().ID,
+		Partitioner: part,
+		PollEvery:   spec.PollEvery,
+		SketchEvery: spec.SketchEvery,
+	})
+	tc.OnFinish(w.Close)
+	return &PartitionedWriter[T]{w: w, codec: codec, key: key}
+}
+
+// Write routes one record to its partition.
+func (pw *PartitionedWriter[T]) Write(v T) error {
+	pw.kbuf = append(pw.kbuf[:0], pw.key(v)...)
+	pw.buf = pw.codec.Encode(pw.buf[:0], v)
+	return pw.w.Write(pw.kbuf, pw.buf)
+}
+
+// Uint64Key adapts a uint64-keyed extractor into the []byte key form
+// PartitionedWriter expects (little-endian, allocation-free at the call
+// site via the writer's internal buffer).
+func Uint64Key[T any](f func(T) uint64) func(T) []byte {
+	var buf [8]byte
+	return func(v T) []byte {
+		k := f(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(k >> (8 * i))
+		}
+		return buf[:]
+	}
+}

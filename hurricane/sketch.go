@@ -1,11 +1,12 @@
 package hurricane
 
 import (
-	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"math/bits"
+
+	"repro/internal/sketch"
 )
 
 // Sketches are the paper's canonical mergeable aggregates (§2.3 cites the
@@ -19,98 +20,18 @@ import (
 
 // CountMin is a count-min sketch: a width×depth counter matrix estimating
 // per-key frequencies with one-sided error (estimates never undercount).
-type CountMin struct {
-	width, depth int
-	counts       []uint64 // depth rows of width counters
-}
+// The implementation lives in internal/sketch so the storage tier can
+// merge producer sketches for the skew-aware shuffle without importing the
+// public API.
+type CountMin = sketch.CountMin
 
 // NewCountMin creates a sketch with the given width (columns per row) and
 // depth (independent hash rows). Estimation error is ≈ 2N/width with
 // probability 1 − (1/2)^depth over N insertions.
-func NewCountMin(width, depth int) *CountMin {
-	if width < 1 || depth < 1 {
-		panic("hurricane: count-min dimensions must be positive")
-	}
-	return &CountMin{width: width, depth: depth, counts: make([]uint64, width*depth)}
-}
-
-func cmHash(key []byte, row int) uint64 {
-	h := fnv.New64a()
-	var seed [4]byte
-	binary.LittleEndian.PutUint32(seed[:], uint32(row))
-	h.Write(seed[:])
-	h.Write(key)
-	return h.Sum64()
-}
-
-// Add increments key's count by n.
-func (c *CountMin) Add(key []byte, n uint64) {
-	for r := 0; r < c.depth; r++ {
-		idx := r*c.width + int(cmHash(key, r)%uint64(c.width))
-		c.counts[idx] += n
-	}
-}
-
-// Estimate returns the (over-)estimate of key's count.
-func (c *CountMin) Estimate(key []byte) uint64 {
-	est := uint64(math.MaxUint64)
-	for r := 0; r < c.depth; r++ {
-		idx := r*c.width + int(cmHash(key, r)%uint64(c.width))
-		if c.counts[idx] < est {
-			est = c.counts[idx]
-		}
-	}
-	return est
-}
-
-// Merge adds another sketch of identical dimensions cell-wise.
-func (c *CountMin) Merge(other *CountMin) error {
-	if other.width != c.width || other.depth != c.depth {
-		return fmt.Errorf("hurricane: count-min dimensions %dx%d != %dx%d",
-			other.width, other.depth, c.width, c.depth)
-	}
-	for i, v := range other.counts {
-		c.counts[i] += v
-	}
-	return nil
-}
-
-// Encode serializes the sketch as one record.
-func (c *CountMin) Encode() []byte {
-	buf := binary.AppendUvarint(nil, uint64(c.width))
-	buf = binary.AppendUvarint(buf, uint64(c.depth))
-	for _, v := range c.counts {
-		buf = binary.AppendUvarint(buf, v)
-	}
-	return buf
-}
+func NewCountMin(width, depth int) *CountMin { return sketch.NewCountMin(width, depth) }
 
 // DecodeCountMin parses an encoded sketch.
-func DecodeCountMin(data []byte) (*CountMin, error) {
-	w, n := binary.Uvarint(data)
-	if n <= 0 {
-		return nil, fmt.Errorf("hurricane: bad count-min record")
-	}
-	data = data[n:]
-	d, n := binary.Uvarint(data)
-	if n <= 0 {
-		return nil, fmt.Errorf("hurricane: bad count-min record")
-	}
-	data = data[n:]
-	if w == 0 || d == 0 || w*d > 1<<28 {
-		return nil, fmt.Errorf("hurricane: implausible count-min dimensions %dx%d", w, d)
-	}
-	c := NewCountMin(int(w), int(d))
-	for i := range c.counts {
-		v, n := binary.Uvarint(data)
-		if n <= 0 {
-			return nil, fmt.Errorf("hurricane: truncated count-min record")
-		}
-		c.counts[i] = v
-		data = data[n:]
-	}
-	return c, nil
-}
+func DecodeCountMin(data []byte) (*CountMin, error) { return sketch.DecodeCountMin(data) }
 
 // MergeCountMin returns a merge procedure combining clone count-min
 // partials cell-wise into a single sketch record.

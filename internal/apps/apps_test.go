@@ -2,6 +2,7 @@ package apps
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -251,6 +252,6 @@ func skewName(s float64) string {
 	case 0.8:
 		return "s0.8"
 	default:
-		return "s1.0"
+		return fmt.Sprintf("s%.1f", s)
 	}
 }

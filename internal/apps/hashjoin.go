@@ -121,6 +121,78 @@ func HashJoinApp(parts int, noClone bool) *hurricane.App {
 	return app
 }
 
+// Shuffle-path hash join bag names.
+const (
+	JoinShufBag = "s.shuf"       // partitioned probe-side shuffle edge
+	JoinShufOut = "joinshuf.out" // join output (concatenated)
+)
+
+// HashJoinShuffleApp is the hash join ported to the skew-aware shuffle
+// subsystem. Instead of the static per-partition task fan of HashJoinApp,
+// the probe relation S is routed by join key through a partitioned bag:
+// one shuffle task feeds P physical partitions (split further at runtime
+// when keys are skewed), and each join worker owns one partition, probing
+// against the full build relation R scanned as shared state. Join output
+// is record-parallel — each probe tuple matches independently — so the
+// edge declares Spread and heavy-hitter keys may be fanned across
+// workers.
+func HashJoinShuffleApp(parts int) *hurricane.App {
+	app := hurricane.NewApp("hashjoin-shuffle")
+	app.SourceBag(JoinBagR).SourceBag(JoinBagS)
+	app.AddBag(hurricane.BagSpec{Name: JoinShufBag, Partitions: parts, Spread: true})
+	app.Bag(JoinShufOut)
+
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "partitionS",
+		Inputs:  []string{JoinBagS},
+		Outputs: []string{JoinShufBag},
+		Run: func(tc *hurricane.TaskCtx) error {
+			pw := hurricane.NewPartitionedWriter(tc, 0, tupleCodec,
+				hurricane.Uint64Key(func(t joinPair) uint64 { return t.First }))
+			return hurricane.ForEach(tc, 0, tupleCodec, pw.Write)
+		},
+	})
+	app.AddTask(hurricane.TaskSpec{
+		Name:       "join",
+		Inputs:     []string{JoinShufBag}, // one worker per physical partition
+		ScanInputs: []string{JoinBagR},    // build side: scanned in full by every worker
+		Outputs:    []string{JoinShufOut},
+		Run: func(tc *hurricane.TaskCtx) error {
+			build := make(map[uint64][]uint64)
+			if err := hurricane.ForEachScan(tc, 0, tupleCodec, func(t joinPair) error {
+				build[t.First] = append(build[t.First], t.Second)
+				return nil
+			}); err != nil {
+				return err
+			}
+			w := hurricane.NewWriter(tc, 0, matchCodec)
+			return hurricane.ForEach(tc, 0, tupleCodec, func(t joinPair) error {
+				for _, rp := range build[t.First] {
+					m := hurricane.Pair[uint64, hurricane.Pair[uint64, uint64]]{
+						First:  t.First,
+						Second: hurricane.Pair[uint64, uint64]{First: rp, Second: t.Second},
+					}
+					if err := w.Write(m); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		},
+	})
+	return app
+}
+
+// JoinShuffleResultCount totals the emitted matches of the shuffle-path
+// join.
+func JoinShuffleResultCount(ctx context.Context, store *hurricane.Store) (int64, error) {
+	vals, err := hurricane.Collect(ctx, store, JoinShufOut, matchCodec)
+	if err != nil {
+		return 0, err
+	}
+	return int64(len(vals)), nil
+}
+
 // LoadRelations loads and seals both join relations.
 func LoadRelations(ctx context.Context, store *hurricane.Store, r, s []workload.Tuple) error {
 	toPairs := func(ts []workload.Tuple) []joinPair {

@@ -57,7 +57,28 @@ func (m *Master) maybeClone(msg overloadMsg) {
 		return
 	}
 	startedAt := st.startedAt
+	// For a consumer of a partitioned shuffle bag, a clone must pull from
+	// the overloaded worker's physical partition, not the logical bag —
+	// and chunk-level sharing of one partition splits a key's records
+	// across workers, so it is only sound when the edge declared
+	// record-level parallelism safe (Spread) or the task reconciles
+	// partials through a merge procedure. Otherwise splitting is the
+	// skew defense. Speculative requests carry no blueprint inputs and
+	// cannot clone partitioned consumers at all.
+	var inputs []string
+	if len(st.spec.Inputs) == 1 {
+		if edge := m.edges[st.spec.Inputs[0]]; edge != nil {
+			if len(msg.bp.Inputs) == 0 || (!edge.spec.Spread && !st.spec.requiresMerge()) {
+				m.mu.Unlock()
+				return
+			}
+			inputs = msg.bp.Inputs
+		}
+	}
 	input := st.spec.Inputs[0]
+	if inputs != nil {
+		input = inputs[0]
+	}
 	m.mu.Unlock()
 
 	if !m.cfg.DisableHeuristic {
@@ -81,7 +102,7 @@ func (m *Master) maybeClone(msg overloadMsg) {
 	st.workers++
 	st.lastClone = time.Now()
 	m.clones++
-	bp := m.blueprintFor(st, w)
+	bp := m.blueprintFor(st, w, inputs)
 	m.mu.Unlock()
 
 	if err := m.wb.pushReady(m.ctx, bp); err != nil {
@@ -307,15 +328,29 @@ func (m *Master) recoverNode(node string) {
 	}
 	for _, plan := range plans {
 		for _, b := range plan.discard {
-			if err := m.store.Discard(m.ctx, b); err != nil {
-				m.fail(err)
-				return
+			for _, phys := range m.physicalBags(b) {
+				if err := m.store.Discard(m.ctx, phys); err != nil {
+					m.fail(err)
+					return
+				}
+			}
+			// Discarding a shuffle edge's data also discards its sketch
+			// state: the restarted producers re-push from zero, and stale
+			// cumulative stats from the aborted epoch must not
+			// double-count the records they will re-write.
+			if m.edges[b] != nil {
+				if err := m.store.DeleteSketch(m.ctx, b); err != nil {
+					m.fail(err)
+					return
+				}
 			}
 		}
 		for _, b := range plan.rewind {
-			if err := m.store.Rewind(m.ctx, b); err != nil {
-				m.fail(err)
-				return
+			for _, phys := range m.physicalBags(b) {
+				if err := m.store.Rewind(m.ctx, phys); err != nil {
+					m.fail(err)
+					return
+				}
 			}
 		}
 	}

@@ -67,6 +67,25 @@ type BagSpec struct {
 	// before the job runs (e.g. the input click log). Source bags must be
 	// sealed by the caller before Run.
 	Source bool
+	// Partitions > 0 declares a key-partitioned shuffle edge: the logical
+	// bag is multiplexed onto Partitions physical partition bags
+	// ("<name>.p<i>"). Producers must write it through a
+	// PartitionedWriter; the consumer task gets one worker per physical
+	// partition, and the master may split hot partitions at runtime
+	// (internal/shuffle).
+	Partitions int
+	// Spread permits record-level spreading of isolated heavy-hitter
+	// keys across several consumers. Safe whenever the consumer's
+	// per-key results are mergeable downstream (counts, sums, sketches,
+	// join probes); leave false if a consumer must see all records of a
+	// key.
+	Spread bool
+	// SketchEvery / PollEvery tune the producer-side control cadences for
+	// a partitioned bag: records between sketch pushes and between
+	// partition-map polls. 0 uses the shuffle package defaults; tests and
+	// latency-sensitive edges lower them.
+	SketchEvery int
+	PollEvery   int
 }
 
 // App is an application graph: a DAG of tasks and bags (§2.1). Build one
@@ -115,6 +134,21 @@ func (a *App) SourceBag(name string) *App {
 // Bag declares an intermediate or output bag.
 func (a *App) Bag(name string) *App {
 	return a.AddBag(BagSpec{Name: name})
+}
+
+// PartitionedBag declares a key-partitioned shuffle bag with parts base
+// partitions. Use AddBag with a full BagSpec to also set Spread.
+func (a *App) PartitionedBag(name string, parts int) *App {
+	return a.AddBag(BagSpec{Name: name, Partitions: parts})
+}
+
+// BagSpecFor returns the named bag's spec, or nil.
+func (a *App) BagSpecFor(name string) *BagSpec { return a.bags[name] }
+
+// partitioned reports whether a bag is a partitioned shuffle edge.
+func (a *App) partitioned(name string) bool {
+	b := a.bags[name]
+	return b != nil && b.Partitions > 0
 }
 
 // AddTask declares a task.
@@ -179,11 +213,25 @@ func (a *App) Validate() error {
 			if _, ok := a.bags[b]; !ok {
 				return fmt.Errorf("core: task %q reads undeclared bag %q", name, b)
 			}
+			if a.partitioned(b) {
+				// A partitioned consumer's workers each own one physical
+				// partition; mixing in other consumed inputs or pipelined
+				// streaming would break the worker↔partition assignment.
+				if len(t.Inputs) != 1 {
+					return fmt.Errorf("core: task %q consumes partitioned bag %q alongside other inputs", name, b)
+				}
+				if t.Pipelined {
+					return fmt.Errorf("core: task %q: pipelined consumption of partitioned bag %q is unsupported", name, b)
+				}
+			}
 			a.consumers[b] = append(a.consumers[b], name)
 		}
 		for _, b := range t.ScanInputs {
 			if _, ok := a.bags[b]; !ok {
 				return fmt.Errorf("core: task %q scans undeclared bag %q", name, b)
+			}
+			if a.partitioned(b) {
+				return fmt.Errorf("core: task %q scans partitioned bag %q; scan the underlying source instead", name, b)
 			}
 			a.scanners[b] = append(a.scanners[b], name)
 		}
@@ -195,7 +243,21 @@ func (a *App) Validate() error {
 			if spec.Source {
 				return fmt.Errorf("core: task %q writes source bag %q", name, b)
 			}
+			if spec.Partitions > 0 && t.requiresMerge() {
+				// Partitioned producers write physical bags directly via
+				// PartitionedWriter; clone reconciliation happens in the
+				// partitioned consumers, not in a merge task.
+				return fmt.Errorf("core: task %q: a merge procedure cannot target partitioned bag %q", name, b)
+			}
 			a.producers[b] = append(a.producers[b], name)
+		}
+	}
+	for name, b := range a.bags {
+		if b.Partitions > 0 && b.Source {
+			return fmt.Errorf("core: partitioned bag %q cannot be a source bag", name)
+		}
+		if b.Spread && b.Partitions <= 0 {
+			return fmt.Errorf("core: bag %q sets Spread without Partitions", name)
 		}
 	}
 	for b := range a.producers {

@@ -80,6 +80,39 @@ func TestValidateErrors(t *testing.T) {
 			a.AddTask(TaskSpec{Name: "t2", Inputs: []string{"m1"}, Outputs: []string{"m2"}, Run: nop})
 			return a
 		}, "cycle"},
+		{"partitioned source", func() *App {
+			a := NewApp("x").AddBag(BagSpec{Name: "s", Source: true, Partitions: 4}).Bag("o")
+			a.AddTask(TaskSpec{Name: "t", Inputs: []string{"s"}, Outputs: []string{"o"}, Run: nop})
+			return a
+		}, "source bag"},
+		{"spread without partitions", func() *App {
+			a := NewApp("x").SourceBag("s").AddBag(BagSpec{Name: "o", Spread: true})
+			a.AddTask(TaskSpec{Name: "t", Inputs: []string{"s"}, Outputs: []string{"o"}, Run: nop})
+			return a
+		}, "Spread without Partitions"},
+		{"partitioned mixed inputs", func() *App {
+			a := NewApp("x").SourceBag("s").SourceBag("s2").PartitionedBag("p", 4).Bag("o")
+			a.AddTask(TaskSpec{Name: "prod", Inputs: []string{"s"}, Outputs: []string{"p"}, Run: nop})
+			a.AddTask(TaskSpec{Name: "cons", Inputs: []string{"p", "s2"}, Outputs: []string{"o"}, Run: nop})
+			return a
+		}, "alongside other inputs"},
+		{"partitioned pipelined consumer", func() *App {
+			a := NewApp("x").SourceBag("s").PartitionedBag("p", 4).Bag("o")
+			a.AddTask(TaskSpec{Name: "prod", Inputs: []string{"s"}, Outputs: []string{"p"}, Run: nop})
+			a.AddTask(TaskSpec{Name: "cons", Inputs: []string{"p"}, Outputs: []string{"o"}, Pipelined: true, Run: nop})
+			return a
+		}, "pipelined"},
+		{"partitioned scan", func() *App {
+			a := NewApp("x").SourceBag("s").PartitionedBag("p", 4).Bag("o")
+			a.AddTask(TaskSpec{Name: "prod", Inputs: []string{"s"}, Outputs: []string{"p"}, Run: nop})
+			a.AddTask(TaskSpec{Name: "cons", Inputs: []string{"s"}, ScanInputs: []string{"p"}, Outputs: []string{"o"}, Run: nop})
+			return a
+		}, "scans partitioned"},
+		{"merge targeting partitioned bag", func() *App {
+			a := NewApp("x").SourceBag("s").PartitionedBag("p", 4)
+			a.AddTask(TaskSpec{Name: "prod", Inputs: []string{"s"}, Outputs: []string{"p"}, Run: nop, Merge: nop})
+			return a
+		}, "merge procedure cannot target"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -91,6 +124,19 @@ func TestValidateErrors(t *testing.T) {
 				t.Fatalf("error %q does not contain %q", err, c.want)
 			}
 		})
+	}
+}
+
+func TestValidatePartitionedHappyPath(t *testing.T) {
+	a := NewApp("x").SourceBag("s").
+		AddBag(BagSpec{Name: "p", Partitions: 4, Spread: true}).Bag("o")
+	a.AddTask(TaskSpec{Name: "prod", Inputs: []string{"s"}, Outputs: []string{"p"}, Run: nop})
+	a.AddTask(TaskSpec{Name: "cons", Inputs: []string{"p"}, Outputs: []string{"o"}, Run: nop})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.partitioned("p") || a.partitioned("o") || a.partitioned("ghost") {
+		t.Fatal("partitioned() misclassifies bags")
 	}
 }
 

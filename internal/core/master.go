@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/shuffle"
 )
 
 // ClusterControl is the interface through which the master exerts
@@ -53,6 +54,30 @@ type MasterConfig struct {
 	// SpeculativeAfter is the straggler threshold for SpeculativeCloning
 	// (default 4 × CloneInterval).
 	SpeculativeAfter time.Duration
+
+	// ---- skew-aware shuffle (internal/shuffle) ----
+
+	// DisableSplitting turns off hot-partition splitting for partitioned
+	// bags (static hash partitioning; the Reshape-style baseline).
+	DisableSplitting bool
+	// SplitInterval is the minimum gap between successive splits of one
+	// shuffle edge (default CloneInterval).
+	SplitInterval time.Duration
+	// SplitImbalance triggers a split when the hottest physical partition
+	// holds more than SplitImbalance × the mean partition load
+	// (default 2).
+	SplitImbalance float64
+	// SplitMinRecords is the number of records an edge must have observed
+	// before the master considers splitting it (default 16384).
+	SplitMinRecords int
+	// SplitFan is how many sub-partitions a hot partition is re-hashed
+	// into, and the spread factor for isolated heavy-hitter keys on
+	// Spread edges (default 2).
+	SplitFan int
+	// IsolateFraction: when a single key accounts for at least this
+	// fraction of a hot partition's records, the key is isolated into a
+	// dedicated bag instead of re-hashing the partition (default 0.5).
+	IsolateFraction float64
 }
 
 func (c *MasterConfig) fill() {
@@ -67,6 +92,21 @@ func (c *MasterConfig) fill() {
 	}
 	if c.SpeculativeAfter <= 0 {
 		c.SpeculativeAfter = 4 * c.CloneInterval
+	}
+	if c.SplitInterval <= 0 {
+		c.SplitInterval = c.CloneInterval
+	}
+	if c.SplitImbalance <= 0 {
+		c.SplitImbalance = 2
+	}
+	if c.SplitMinRecords <= 0 {
+		c.SplitMinRecords = 16384
+	}
+	if c.SplitFan <= 1 {
+		c.SplitFan = 2
+	}
+	if c.IsolateFraction <= 0 {
+		c.IsolateFraction = 0.5
 	}
 }
 
@@ -158,6 +198,10 @@ type Master struct {
 	runScan   *bag.Scanner
 	readyScan *bag.Scanner
 
+	// edges tracks the app's partitioned shuffle bags (core/shuffle.go).
+	// Accessed only from the master loop goroutine after NewMaster.
+	edges map[string]*shuffleEdge
+
 	// counters for observability and tests
 	clones       int
 	rejects      int
@@ -165,6 +209,8 @@ type Master struct {
 	mergeTasks   int
 	renameAdopts int
 	speculative  int
+	splits       int
+	isolations   int
 }
 
 // NewMaster creates a master for the app. The caller must have validated
@@ -193,6 +239,7 @@ func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterCon
 	for _, b := range app.sourceBags() {
 		m.sealed[b] = true
 	}
+	m.edges = newShuffleEdges(app, store)
 	m.doneScan = m.wb.doneScanner()
 	m.runScan = m.wb.runningScanner()
 	m.readyScan = m.wb.readyScanner()
@@ -236,6 +283,8 @@ type MasterStats struct {
 	RenameAdopts  int // sole-worker outputs adopted by rename
 	Recoveries    int // compute-node failure recoveries
 	Speculative   int // speculative clone attempts (paper future work)
+	Splits        int // hot partitions re-hashed into sub-partitions
+	Isolations    int // heavy-hitter keys isolated into dedicated bags
 	TasksFinished int
 }
 
@@ -254,11 +303,30 @@ func (m *Master) ResealAll(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 	for _, b := range names {
-		if err := m.store.Seal(ctx, b); err != nil {
-			return err
+		for _, phys := range m.physicalBags(b) {
+			if err := m.store.Seal(ctx, phys); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// physicalBags expands a logical bag name to the physical bags holding its
+// data: the partition-map leaves for a partitioned shuffle bag, the name
+// itself otherwise. Callers must not hold m.mu.
+func (m *Master) physicalBags(name string) []string {
+	m.mu.Lock()
+	edge := m.edges[name]
+	var pmap *shuffle.PartitionMap
+	if edge != nil {
+		pmap = edge.pmap
+	}
+	m.mu.Unlock()
+	if pmap == nil {
+		return []string{name}
+	}
+	return pmap.Leaves()
 }
 
 // RunningOn reports the compute nodes currently executing workers of the
@@ -292,6 +360,8 @@ func (m *Master) Stats() MasterStats {
 		RenameAdopts:  m.renameAdopts,
 		Recoveries:    m.recoveries,
 		Speculative:   m.speculative,
+		Splits:        m.splits,
+		Isolations:    m.isolations,
 		TasksFinished: m.finished,
 	}
 }
@@ -367,6 +437,9 @@ func (m *Master) tick() error {
 	m.drainRecoveries()
 	m.drainOverloads()
 	m.speculativePass()
+	if err := m.shufflePass(); err != nil {
+		return err
+	}
 	if err := m.schedulePass(); err != nil {
 		return err
 	}
@@ -469,6 +542,7 @@ func (m *Master) applyDone(e *event) error {
 func (m *Master) schedulePass() error {
 	m.mu.Lock()
 	var toSchedule []*taskState
+	var leafAssign [][]string
 	for _, name := range m.app.Tasks() {
 		st := m.tasks[name]
 		if st.scheduled || st.finished {
@@ -495,19 +569,51 @@ func (m *Master) schedulePass() error {
 		}
 		if ready {
 			st.scheduled = true
-			st.workers = 1
 			st.startedAt = time.Now()
+			// A consumer of a partitioned bag gets one worker per
+			// physical partition — by this point the edge's partition map
+			// is final (its producers sealed the bag before this task
+			// became ready, and splitting stops when producers finish).
+			leaves := m.partitionLeavesFor(st.spec)
+			if leaves == nil {
+				st.workers = 1
+			} else {
+				st.workers = len(leaves)
+			}
 			toSchedule = append(toSchedule, st)
+			leafAssign = append(leafAssign, leaves)
 		}
 	}
 	m.mu.Unlock()
-	for _, st := range toSchedule {
-		bp := m.blueprintFor(st, 0)
-		if err := m.wb.pushReady(m.ctx, bp); err != nil {
-			return err
+	for i, st := range toSchedule {
+		leaves := leafAssign[i]
+		if leaves == nil {
+			if err := m.wb.pushReady(m.ctx, m.blueprintFor(st, 0, nil)); err != nil {
+				return err
+			}
+			continue
+		}
+		for w, leaf := range leaves {
+			if err := m.wb.pushReady(m.ctx, m.blueprintFor(st, w, []string{leaf})); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
+}
+
+// partitionLeavesFor returns the physical partition bags a task consumes,
+// or nil for ordinary tasks. Validate guarantees a partitioned consumer
+// has exactly one input.
+func (m *Master) partitionLeavesFor(spec *TaskSpec) []string {
+	if len(spec.Inputs) != 1 {
+		return nil
+	}
+	edge := m.edges[spec.Inputs[0]]
+	if edge == nil {
+		return nil
+	}
+	return edge.pmap.Leaves()
 }
 
 // producersScheduled reports whether every producer task of a bag has
@@ -529,7 +635,12 @@ func (m *Master) producersScheduled(bagName string) bool {
 
 // blueprintFor builds the blueprint for worker w of a task at its current
 // epoch. Tasks with a merge procedure write to private partial bags.
-func (m *Master) blueprintFor(st *taskState, w int) *Blueprint {
+// inputs overrides the consumed bags (partitioned consumers: each worker
+// owns one physical partition); nil means the spec's declared inputs.
+func (m *Master) blueprintFor(st *taskState, w int, inputs []string) *Blueprint {
+	if inputs == nil {
+		inputs = st.spec.Inputs
+	}
 	outputs := st.spec.Outputs
 	if st.spec.requiresMerge() {
 		outputs = []string{partialBag(st.spec.Outputs[0], w, st.epoch)}
@@ -540,7 +651,7 @@ func (m *Master) blueprintFor(st *taskState, w int) *Blueprint {
 		Kind:       KindTask,
 		Worker:     w,
 		Epoch:      st.epoch,
-		Inputs:     st.spec.Inputs,
+		Inputs:     inputs,
 		Outputs:    outputs,
 		ScanInputs: st.spec.ScanInputs,
 	}
@@ -644,8 +755,17 @@ func (m *Master) finishTask(st *taskState) error {
 	}
 	m.mu.Unlock()
 	for _, b := range toSeal {
-		if err := m.store.Seal(m.ctx, b); err != nil {
-			return err
+		for _, phys := range m.physicalBags(b) {
+			if err := m.store.Seal(m.ctx, phys); err != nil {
+				return err
+			}
+		}
+		// A sealed shuffle edge splits no further; its sketch state on
+		// the storage tier has served its purpose.
+		if m.edges[b] != nil {
+			if err := m.store.DeleteSketch(m.ctx, b); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

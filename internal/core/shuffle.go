@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/bag"
+	"repro/internal/chunk"
+	"repro/internal/shuffle"
+	"repro/internal/sketch"
+)
+
+// shuffleEdge is the master's state for one partitioned shuffle bag: the
+// current partition map, a scanner over the edge's published-map bag (so a
+// recovered master replays split history like it replays the work bags),
+// and split bookkeeping.
+type shuffleEdge struct {
+	name      string
+	spec      *BagSpec
+	pmap      *shuffle.PartitionMap // swapped under m.mu; read by other goroutines
+	scan      *bag.Scanner
+	producers []string
+	consumer  string // consuming task name, or ""
+
+	lastCheck  time.Time // last sketch fetch (rate-limits detection RPCs)
+	lastSplit  time.Time
+	splitTried map[string]bool // leaves that cannot be refined further
+}
+
+// newShuffleEdges builds edge state for every partitioned bag of the app.
+func newShuffleEdges(app *App, store *bag.Store) map[string]*shuffleEdge {
+	edges := make(map[string]*shuffleEdge)
+	for _, name := range app.Bags() {
+		spec := app.BagSpecFor(name)
+		if spec == nil || spec.Partitions <= 0 {
+			continue
+		}
+		consumer := ""
+		if cons := app.Consumers(name); len(cons) > 0 {
+			consumer = cons[0]
+		}
+		edges[name] = &shuffleEdge{
+			name:       name,
+			spec:       spec,
+			pmap:       shuffle.BaseMap(name, spec.Partitions),
+			scan:       store.Scanner(shuffle.PMapBag(name)),
+			producers:  app.Producers(name),
+			consumer:   consumer,
+			splitTried: make(map[string]bool),
+		}
+	}
+	return edges
+}
+
+// shufflePass is the master-side half of the skew-aware shuffle: it adopts
+// partition maps published by a predecessor master, then — for edges still
+// being produced — fetches the merged producer sketches and splits the
+// hottest partition when it exceeds the configured imbalance ratio.
+// Splitting only redirects records not yet written, so it is always safe;
+// it stops once the edge's consumer is scheduled (the worker↔partition
+// assignment is fixed from then on).
+func (m *Master) shufflePass() error {
+	if len(m.edges) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(m.edges))
+	for n := range m.edges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		edge := m.edges[name]
+		if err := m.adoptPublishedMaps(edge); err != nil {
+			return err
+		}
+		if m.cfg.DisableSplitting {
+			continue
+		}
+		m.mu.Lock()
+		active := true
+		for _, p := range edge.producers {
+			if m.tasks[p].finished {
+				active = false // producers finishing: map is (about to be) final
+				break
+			}
+		}
+		if edge.consumer != "" && m.tasks[edge.consumer].scheduled {
+			active = false
+		}
+		m.mu.Unlock()
+		// Rate-limit the detection RPC itself, not just the splits: a
+		// fetch makes the storage node decode and merge every producer's
+		// sketch blob, far too much work for every master tick.
+		if !active || time.Since(edge.lastCheck) < m.cfg.SplitInterval {
+			continue
+		}
+		edge.lastCheck = time.Now()
+		stats, err := m.store.FetchSketch(m.ctx, name)
+		if err != nil {
+			continue // detection is advisory; retry next interval
+		}
+		if err := m.decideSplit(edge, stats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptPublishedMaps folds newer published partition-map versions into the
+// edge state. During normal operation the master only sees its own
+// publications; after a master crash the replay reconstructs the split
+// history exactly (the pmap bag is append-only and versions are ordered).
+func (m *Master) adoptPublishedMaps(edge *shuffleEdge) error {
+	return drainPartitionMaps(m.ctx, edge.scan, func(pm *shuffle.PartitionMap) {
+		if pm.Bag != edge.name {
+			return
+		}
+		m.mu.Lock()
+		if pm.Version > edge.pmap.Version {
+			edge.pmap = pm
+		}
+		m.mu.Unlock()
+	})
+}
+
+func drainPartitionMaps(ctx context.Context, sc *bag.Scanner, fn func(*shuffle.PartitionMap)) error {
+	_, err := sc.Drain(ctx, func(c chunk.Chunk) error {
+		pm, err := shuffle.DecodePartitionMap(c)
+		if err != nil {
+			return nil // tolerate foreign records in the control bag
+		}
+		fn(pm)
+		return nil
+	})
+	return err
+}
+
+// decideSplit inspects one edge's merged producer statistics and refines
+// the partition map if a physical partition is overloaded. Two refinements
+// exist, mirroring the two skew shapes:
+//
+//   - many medium keys piled onto one partition → re-hash the partition
+//     into SplitFan sub-partitions (Reshape-style);
+//   - a single heavy-hitter key dominating the partition → isolate the key
+//     into a dedicated bag (SharesSkew-style), spread record-wise over
+//     SplitFan bags when the edge permits it.
+func (m *Master) decideSplit(edge *shuffleEdge, stats *sketch.EdgeStats) error {
+	total := stats.Total()
+	if total < uint64(m.cfg.SplitMinRecords) {
+		return nil
+	}
+	m.mu.Lock()
+	pmap := edge.pmap
+	m.mu.Unlock()
+	leaves := pmap.Leaves()
+	mean := float64(total) / float64(len(leaves))
+	hottest, hotCount := "", uint64(0)
+	for _, leaf := range leaves {
+		if c := stats.Counts[leaf]; c > hotCount && !edge.splitTried[leaf] {
+			hottest, hotCount = leaf, c
+		}
+	}
+	if hottest == "" || float64(hotCount) <= m.cfg.SplitImbalance*mean {
+		return nil
+	}
+
+	next := pmap.Clone()
+	// Prefer isolating a dominant heavy-hitter key: re-hashing cannot help
+	// when one key carries the partition.
+	var top *sketch.HeavyKey
+	for i := range stats.Heavy {
+		hk := &stats.Heavy[i]
+		if next.IsIsolated(shuffle.KeyHash(hk.Key)) {
+			continue
+		}
+		if pmap.LeafForKey(hk.Key) != hottest {
+			continue
+		}
+		if top == nil || hk.Count > top.Count {
+			top = hk
+		}
+	}
+	switch {
+	case top != nil && float64(top.Count) >= m.cfg.IsolateFraction*float64(hotCount):
+		fan := 1
+		if edge.spec.Spread {
+			fan = m.cfg.SplitFan
+		}
+		next.Isolated = append(next.Isolated, shuffle.Isolation{
+			Hash: shuffle.KeyHash(top.Key), Fan: fan,
+		})
+		m.mu.Lock()
+		m.isolations++
+		m.mu.Unlock()
+	default:
+		p, ok := next.BasePartitionIndex(hottest)
+		if !ok {
+			// Sub-partition or isolated bag still hot with no dominant
+			// key to extract: nothing further to refine.
+			edge.splitTried[hottest] = true
+			return nil
+		}
+		if next.Splits == nil {
+			next.Splits = make(map[int]int)
+		}
+		next.Splits[p] = m.cfg.SplitFan
+		m.mu.Lock()
+		m.splits++
+		m.mu.Unlock()
+	}
+	next.Version++
+	// Publish first, adopt second: producers must never observe a map the
+	// master (and a recovered successor) would not also know about.
+	if err := m.store.Bag(shuffle.PMapBag(edge.name)).Insert(m.ctx, next.Encode()); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	edge.pmap = next
+	m.mu.Unlock()
+	edge.lastSplit = time.Now()
+	return nil
+}

@@ -14,8 +14,10 @@ import (
 // worker's input and output bags and transparently accounts busy/wait time
 // for the overload detector.
 type TaskCtx struct {
-	ctx context.Context
-	bp  *Blueprint
+	ctx   context.Context
+	bp    *Blueprint
+	store *bag.Store
+	app   *App
 
 	ins   []*bag.Bag
 	outs  []*bag.Bag
@@ -23,6 +25,7 @@ type TaskCtx struct {
 
 	writers   []*chunk.Writer
 	inserters []*bag.Inserter
+	onFinish  []func() error
 
 	// load accounting (nanoseconds)
 	busyNS atomic.Int64
@@ -34,8 +37,8 @@ type TaskCtx struct {
 	chunksIn atomic.Int64
 }
 
-func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store) *TaskCtx {
-	tc := &TaskCtx{ctx: ctx, bp: bp}
+func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *TaskCtx {
+	tc := &TaskCtx{ctx: ctx, bp: bp, store: store, app: app}
 	for _, in := range bp.Inputs {
 		tc.ins = append(tc.ins, store.Bag(in))
 	}
@@ -147,6 +150,35 @@ func (tc *TaskCtx) InputName(i int) string { return tc.ins[i].Name() }
 // OutputName returns the bag name behind output i.
 func (tc *TaskCtx) OutputName(i int) string { return tc.outs[i].Name() }
 
+// Store returns the bag store the worker's bags live in. Partitioned
+// writers use it to open physical partition bags at runtime.
+func (tc *TaskCtx) Store() *bag.Store { return tc.store }
+
+// OutputPartitions returns the declared base partition count of output i's
+// bag (0 for ordinary bags).
+func (tc *TaskCtx) OutputPartitions(i int) int {
+	if spec := tc.OutputBagSpec(i); spec != nil {
+		return spec.Partitions
+	}
+	return 0
+}
+
+// OutputBagSpec returns the declared spec of output i's bag (nil if the
+// bag is not declared in the app graph, e.g. a partial bag).
+func (tc *TaskCtx) OutputBagSpec(i int) *BagSpec {
+	if tc.app == nil {
+		return nil
+	}
+	return tc.app.BagSpecFor(tc.OutputName(i))
+}
+
+// OnFinish registers fn to run (on the worker goroutine) after the task
+// function returns successfully, before completion is reported. Partitioned
+// writers register their flush here so buffered chunks are never lost.
+func (tc *TaskCtx) OnFinish(fn func() error) {
+	tc.onFinish = append(tc.onFinish, fn)
+}
+
 // BytesIn reports total input bytes consumed so far.
 func (tc *TaskCtx) BytesIn() int64 { return tc.bytesIn.Load() }
 
@@ -169,14 +201,19 @@ func (tc *TaskCtx) loadSnapshot() (busyFrac float64) {
 	return float64(busy) / float64(total)
 }
 
-// finish flushes all writers and inserters. Called by the worker runtime
-// after the TaskFunc returns successfully.
+// finish flushes all writers and inserters and runs OnFinish hooks.
+// Called by the worker runtime after the TaskFunc returns successfully.
 func (tc *TaskCtx) finish() error {
 	for i, w := range tc.writers {
 		if w != nil {
 			if err := w.Flush(); err != nil {
 				return fmt.Errorf("core: flushing output %d: %w", i, err)
 			}
+		}
+	}
+	for _, fn := range tc.onFinish {
+		if err := fn(); err != nil {
+			return err
 		}
 	}
 	for i, ins := range tc.inserters {
@@ -213,7 +250,7 @@ func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *
 	wctx, cancel := context.WithCancel(ctx)
 	w := &worker{
 		bp:     bp,
-		tc:     newTaskCtx(wctx, bp, store),
+		tc:     newTaskCtx(wctx, bp, store, app),
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}

@@ -1,0 +1,295 @@
+// Package shuffle implements Hurricane's skew-aware shuffle subsystem: a
+// key-partitioned data exchange between producer and consumer tasks built
+// on the existing bag/storage machinery.
+//
+// A partitioned bag is one *logical* bag multiplexed onto P physical
+// partition bags named "<bag>.p<i>". Producers route records by key through
+// a PartitionMap; the consumer task gets one worker per physical partition,
+// so consumers pull from disjoint bags instead of contending on a single
+// monolithic bag. The map is *adaptive*: producers feed key counts into a
+// per-edge count-min sketch (see internal/sketch), and when the
+// application master observes a heavy-hitter partition it refines the map —
+// re-hashing a hot partition into finer sub-partitions ("<bag>.p<i>.s<j>")
+// or isolating a heavy-hitter key into a dedicated bag ("<bag>.h<k>",
+// optionally spread record-wise over "<bag>.h<k>.s<j>" when the edge
+// declares per-key atomicity unnecessary). New map versions are published
+// through an ordinary bag ("<bag>!pmap") that producers poll, so the
+// mechanism works unchanged over the in-process and TCP transports.
+//
+// Correctness invariant: every record is routed to exactly one physical
+// bag, every physical bag in the final map is sealed by the master and
+// consumed by exactly one worker, so splitting at runtime neither loses
+// nor duplicates records (partition-map refinement only redirects records
+// not yet written).
+package shuffle
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Partitioner maps a record key to one of n partitions. Implementations
+// must be deterministic and agree across all producers of an edge.
+type Partitioner interface {
+	Partition(key []byte, n int) int
+}
+
+// HashPartitioner is the default Partitioner: FNV-1a modulo n.
+type HashPartitioner struct{}
+
+// Partition implements Partitioner.
+func (HashPartitioner) Partition(key []byte, n int) int {
+	return int(KeyHash(key) % uint64(n))
+}
+
+// KeyHash is the canonical 64-bit key hash used for partition routing and
+// for identifying isolated heavy-hitter keys in the partition map.
+func KeyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return h.Sum64()
+}
+
+// subHash is an independently salted hash used to re-hash a hot
+// partition's keys across its sub-partitions; using the primary hash again
+// would send every key of the partition to the same sub-partition.
+func subHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9}) // salt
+	h.Write(key)
+	return h.Sum64()
+}
+
+// PartitionBag names base partition p of a logical bag.
+func PartitionBag(bag string, p int) string { return fmt.Sprintf("%s.p%d", bag, p) }
+
+// SubPartitionBag names sub-partition s of a re-hashed hot partition p.
+func SubPartitionBag(bag string, p, s int) string { return fmt.Sprintf("%s.p%d.s%d", bag, p, s) }
+
+// IsolatedBag names the dedicated bag(s) for isolated heavy-hitter key i.
+// With fan > 1 the key's records are spread over fan bags.
+func IsolatedBag(bag string, i, s int, fan int) string {
+	if fan <= 1 {
+		return fmt.Sprintf("%s.h%d", bag, i)
+	}
+	return fmt.Sprintf("%s.h%d.s%d", bag, i, s)
+}
+
+// PMapBag names the control bag through which the master publishes
+// partition-map revisions to producers.
+func PMapBag(bag string) string { return bag + "!pmap" }
+
+// Isolation diverts one heavy-hitter key (identified by KeyHash) to a
+// dedicated bag. Fan > 1 spreads the key's records round-robin over fan
+// bags — only valid on edges whose consumer declared record-level
+// parallelism safe (BagSpec.Spread).
+type Isolation struct {
+	Hash uint64 `json:"hash"`
+	Fan  int    `json:"fan"`
+}
+
+// PartitionMap is the routing table of one shuffle edge. Version 1 is the
+// plain hash layout; the master publishes higher versions as it splits hot
+// partitions. Maps only ever *add* physical bags, so the physical bags of
+// version v are a subset of those of any later version.
+type PartitionMap struct {
+	Version int    `json:"version"`
+	Bag     string `json:"bag"`
+	// Base is the number of base hash partitions.
+	Base int `json:"base"`
+	// Splits maps a base partition index to its re-hash fan: partition p
+	// is refined into Splits[p] sub-partitions.
+	Splits map[int]int `json:"splits,omitempty"`
+	// Isolated lists heavy-hitter keys diverted to dedicated bags, in
+	// isolation order (the index names the bag).
+	Isolated []Isolation `json:"isolated,omitempty"`
+}
+
+// BaseMap returns version 1 of an edge's map: plain hash partitioning over
+// parts partitions. All parties derive it locally, so an edge that is
+// never split needs no control traffic at all.
+func BaseMap(bag string, parts int) *PartitionMap {
+	if parts < 1 {
+		parts = 1
+	}
+	return &PartitionMap{Version: 1, Bag: bag, Base: parts}
+}
+
+// isolation returns the isolation entry for a key hash, if any.
+func (pm *PartitionMap) isolation(hash uint64) (int, *Isolation) {
+	for i := range pm.Isolated {
+		if pm.Isolated[i].Hash == hash {
+			return i, &pm.Isolated[i]
+		}
+	}
+	return -1, nil
+}
+
+// IsIsolated reports whether the key hash has a dedicated bag.
+func (pm *PartitionMap) IsIsolated(hash uint64) bool {
+	_, iso := pm.isolation(hash)
+	return iso != nil
+}
+
+// RouteRef is a compact routing decision: Iso ≥ 0 selects an isolation
+// bag (Part is then the spread sub-bag index), otherwise Part/Sub select a
+// base partition and optional sub-partition (Sub = -1 when unsplit).
+// RouteRef is comparable, so writers cache bag pipelines per ref instead
+// of formatting a bag name per record — the shuffle's per-record hot path.
+type RouteRef struct {
+	Iso, Part, Sub int
+}
+
+// RefName formats the physical bag name a ref addresses under this map.
+// Refs stay name-stable across map refinements (refinements only add
+// partitions and never change an isolation's fan), so cached names remain
+// valid when a writer adopts a newer version.
+func (pm *PartitionMap) RefName(ref RouteRef) string {
+	if ref.Iso >= 0 {
+		return IsolatedBag(pm.Bag, ref.Iso, ref.Part, pm.Isolated[ref.Iso].Fan)
+	}
+	if ref.Sub >= 0 {
+		return SubPartitionBag(pm.Bag, ref.Part, ref.Sub)
+	}
+	return PartitionBag(pm.Bag, ref.Part)
+}
+
+// Route returns the physical bag for a key under the default hash
+// partitioner. rr disambiguates spread isolations (fan > 1): the caller
+// supplies a round-robin counter so a heavy key's records spread evenly;
+// any value is correct, placement only affects balance.
+func (pm *PartitionMap) Route(key []byte, rr int) string {
+	return pm.RouteWith(HashPartitioner{}, key, rr)
+}
+
+// RouteWith is Route with a caller-supplied base partitioner.
+func (pm *PartitionMap) RouteWith(part Partitioner, key []byte, rr int) string {
+	return pm.RefName(pm.RouteRefWith(part, key, rr))
+}
+
+// RouteRefWith computes the routing decision for a key. Isolation matching
+// and sub-partition re-hashing are partitioner-independent, so a custom
+// partitioner only chooses the base partition. (The master's heavy-hitter
+// attribution assumes the default hash partitioner; with a custom one,
+// attribution may pick the re-hash action instead of isolation, which
+// affects balance but never correctness.)
+func (pm *PartitionMap) RouteRefWith(part Partitioner, key []byte, rr int) RouteRef {
+	hash := KeyHash(key)
+	if len(pm.Isolated) > 0 {
+		if i, iso := pm.isolation(hash); iso != nil {
+			if iso.Fan <= 1 {
+				return RouteRef{Iso: i, Part: 0, Sub: -1}
+			}
+			if rr < 0 {
+				rr = -rr
+			}
+			return RouteRef{Iso: i, Part: rr % iso.Fan, Sub: -1}
+		}
+	}
+	var p int
+	if _, isDefault := part.(HashPartitioner); isDefault {
+		p = int(hash % uint64(pm.Base)) // reuse the isolation-check hash
+	} else {
+		p = part.Partition(key, pm.Base)
+	}
+	if fan := pm.Splits[p]; fan > 1 {
+		return RouteRef{Iso: -1, Part: p, Sub: int(subHash(key) % uint64(fan))}
+	}
+	return RouteRef{Iso: -1, Part: p, Sub: -1}
+}
+
+// LeafForKey returns the physical bag a non-isolated key routes to (the
+// first spread bag for isolated keys). The master uses it to attribute
+// heavy-hitter candidates to the partition they load.
+func (pm *PartitionMap) LeafForKey(key []byte) string { return pm.Route(key, 0) }
+
+// BasePartitionIndex parses a base-partition leaf name ("<bag>.p<i>"),
+// returning (i, true) if leaf is an unsplit base partition of this map.
+func (pm *PartitionMap) BasePartitionIndex(leaf string) (int, bool) {
+	for p := 0; p < pm.Base; p++ {
+		if pm.Splits[p] > 1 {
+			continue
+		}
+		if PartitionBag(pm.Bag, p) == leaf {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// Leaves returns every physical bag of the current map, in deterministic
+// order. The master schedules one consumer worker per leaf and seals every
+// leaf when the edge's producers finish. A split base partition remains a
+// leaf alongside its sub-partitions: records routed to it before the split
+// (or by producers still on an older map version) live there and need
+// their own consumer — that residue is never re-shuffled, only future
+// records divert.
+func (pm *PartitionMap) Leaves() []string {
+	var out []string
+	for p := 0; p < pm.Base; p++ {
+		out = append(out, PartitionBag(pm.Bag, p))
+		if fan := pm.Splits[p]; fan > 1 {
+			for s := 0; s < fan; s++ {
+				out = append(out, SubPartitionBag(pm.Bag, p, s))
+			}
+		}
+	}
+	for i, iso := range pm.Isolated {
+		fan := iso.Fan
+		if fan <= 1 {
+			out = append(out, IsolatedBag(pm.Bag, i, 0, 1))
+		} else {
+			for s := 0; s < fan; s++ {
+				out = append(out, IsolatedBag(pm.Bag, i, s, fan))
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy (the master mutates a copy, then publishes).
+func (pm *PartitionMap) Clone() *PartitionMap {
+	cp := *pm
+	if pm.Splits != nil {
+		cp.Splits = make(map[int]int, len(pm.Splits))
+		for k, v := range pm.Splits {
+			cp.Splits[k] = v
+		}
+	}
+	cp.Isolated = append([]Isolation(nil), pm.Isolated...)
+	return &cp
+}
+
+// Encode serializes the map as one record.
+func (pm *PartitionMap) Encode() []byte {
+	data, err := json.Marshal(pm)
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: partition map marshal: %v", err))
+	}
+	return data
+}
+
+// DecodePartitionMap parses an encoded partition map.
+func DecodePartitionMap(data []byte) (*PartitionMap, error) {
+	var pm PartitionMap
+	if err := json.Unmarshal(data, &pm); err != nil {
+		return nil, fmt.Errorf("shuffle: bad partition map record: %w", err)
+	}
+	if pm.Base < 1 {
+		return nil, fmt.Errorf("shuffle: partition map with base %d", pm.Base)
+	}
+	return &pm, nil
+}
+
+// SortedSplitKeys returns the split partition indices in order (for
+// deterministic iteration in logs and tests).
+func (pm *PartitionMap) SortedSplitKeys() []int {
+	out := make([]int, 0, len(pm.Splits))
+	for p := range pm.Splits {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}

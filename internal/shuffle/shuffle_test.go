@@ -1,0 +1,162 @@
+package shuffle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func key(i uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return b[:]
+}
+
+func TestBaseMapRouting(t *testing.T) {
+	pm := BaseMap("shuf", 4)
+	leaves := pm.Leaves()
+	if len(leaves) != 4 {
+		t.Fatalf("base map has %d leaves, want 4", len(leaves))
+	}
+	inLeaves := make(map[string]bool, len(leaves))
+	for _, l := range leaves {
+		inLeaves[l] = true
+	}
+	for i := uint64(0); i < 1000; i++ {
+		leaf := pm.Route(key(i), 0)
+		if !inLeaves[leaf] {
+			t.Fatalf("key %d routed to %q, not a leaf", i, leaf)
+		}
+		if leaf != pm.Route(key(i), 7) {
+			t.Fatalf("non-isolated key %d routing depends on rr", i)
+		}
+	}
+}
+
+// TestSplitRoutingDisjointAndComplete: after re-hash splitting a
+// partition, every key routes to exactly one leaf of the refined map, keys
+// of unsplit partitions are untouched, and the split partition's keys
+// spread over its sub-partitions only.
+func TestSplitRoutingDisjointAndComplete(t *testing.T) {
+	base := BaseMap("shuf", 4)
+	next := base.Clone()
+	next.Splits = map[int]int{2: 3}
+	next.Version++
+
+	// 4 base partitions (the split one keeps its residue bag) + 3 subs.
+	leaves := next.Leaves()
+	if len(leaves) != 4+3 {
+		t.Fatalf("got %d leaves %v, want 7", len(leaves), leaves)
+	}
+	inLeaves := make(map[string]bool)
+	for _, l := range leaves {
+		inLeaves[l] = true
+	}
+	subsSeen := make(map[string]bool)
+	for i := uint64(0); i < 5000; i++ {
+		before := base.Route(key(i), 0)
+		after := next.Route(key(i), 0)
+		if !inLeaves[after] {
+			t.Fatalf("key %d routed to non-leaf %q", i, after)
+		}
+		if before == PartitionBag("shuf", 2) {
+			if !strings.HasPrefix(after, PartitionBag("shuf", 2)+".s") {
+				t.Fatalf("split-partition key %d routed to %q", i, after)
+			}
+			subsSeen[after] = true
+		} else if after != before {
+			t.Fatalf("key %d of unsplit partition moved %q -> %q", i, before, after)
+		}
+	}
+	if len(subsSeen) != 3 {
+		t.Fatalf("re-hash used %d of 3 sub-partitions", len(subsSeen))
+	}
+}
+
+func TestIsolationRouting(t *testing.T) {
+	pm := BaseMap("shuf", 4)
+	hot := key(42)
+	pm.Isolated = []Isolation{{Hash: KeyHash(hot), Fan: 1}}
+	if got := pm.Route(hot, 0); got != "shuf.h0" {
+		t.Fatalf("isolated key routed to %q", got)
+	}
+	// Spread isolation fans the key's records by the rr counter.
+	pm.Isolated[0].Fan = 3
+	seen := make(map[string]bool)
+	for rr := 0; rr < 9; rr++ {
+		seen[pm.Route(hot, rr)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("spread isolation hit %d of 3 bags: %v", len(seen), seen)
+	}
+	for b := range seen {
+		if !strings.HasPrefix(b, "shuf.h0.s") {
+			t.Fatalf("spread bag %q has wrong prefix", b)
+		}
+	}
+	// Other keys are unaffected.
+	for i := uint64(0); i < 100; i++ {
+		if i == 42 {
+			continue
+		}
+		if got := pm.Route(key(i), 0); strings.HasPrefix(got, "shuf.h") {
+			t.Fatalf("non-isolated key %d routed to isolation bag %q", i, got)
+		}
+	}
+}
+
+func TestPartitionMapEncodeDecode(t *testing.T) {
+	pm := BaseMap("shuf", 8)
+	pm.Splits = map[int]int{1: 2, 5: 4}
+	pm.Isolated = []Isolation{{Hash: 123, Fan: 2}, {Hash: 456, Fan: 1}}
+	pm.Version = 4
+	got, err := DecodePartitionMap(pm.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 4 || got.Base != 8 || got.Bag != "shuf" {
+		t.Fatalf("round trip lost header: %+v", got)
+	}
+	if len(got.Leaves()) != len(pm.Leaves()) {
+		t.Fatalf("round trip changed leaves: %v vs %v", got.Leaves(), pm.Leaves())
+	}
+	for i := uint64(0); i < 2000; i++ {
+		if got.Route(key(i), 3) != pm.Route(key(i), 3) {
+			t.Fatalf("round trip changed routing of key %d", i)
+		}
+	}
+	if _, err := DecodePartitionMap([]byte("{")); err == nil {
+		t.Fatal("truncated map must error")
+	}
+	if _, err := DecodePartitionMap([]byte(`{"base":0}`)); err == nil {
+		t.Fatal("zero-base map must error")
+	}
+}
+
+func TestBasePartitionIndex(t *testing.T) {
+	pm := BaseMap("shuf", 4)
+	pm.Splits = map[int]int{1: 2}
+	if _, ok := pm.BasePartitionIndex(PartitionBag("shuf", 1)); ok {
+		t.Fatal("split partition must not be re-splittable")
+	}
+	p, ok := pm.BasePartitionIndex(PartitionBag("shuf", 3))
+	if !ok || p != 3 {
+		t.Fatalf("BasePartitionIndex = %d,%v", p, ok)
+	}
+	if _, ok := pm.BasePartitionIndex("shuf.h0"); ok {
+		t.Fatal("isolation bag is not a base partition")
+	}
+}
+
+func TestLeavesDeterministic(t *testing.T) {
+	pm := BaseMap("shuf", 6)
+	pm.Splits = map[int]int{0: 2, 4: 2}
+	pm.Isolated = []Isolation{{Hash: 9, Fan: 2}}
+	want := fmt.Sprint(pm.Leaves())
+	for i := 0; i < 10; i++ {
+		if got := fmt.Sprint(pm.Leaves()); got != want {
+			t.Fatalf("leaf order unstable: %s vs %s", got, want)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package shuffle
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bag"
+	"repro/internal/chunk"
+	"repro/internal/sketch"
+)
+
+// Default writer cadences, in records. A map poll costs one OpReadAt
+// probe per storage slot (the scanner must check every slot of the
+// control bag); a sketch push is one RPC. At the default cadences that is
+// well under one control RPC per data chunk inserted.
+const (
+	DefaultPollEvery   = 1024
+	DefaultSketchEvery = 4096
+)
+
+// DefaultSketchSample feeds every 8th record into the count-min sketch
+// (with weight 8), keeping the sketch off the per-record hot path while
+// leaving heavy-hitter estimates unbiased. Partition counts stay exact —
+// they are one map increment.
+const DefaultSketchSample = 8
+
+// heavyAdmitFraction admits a key into the heavy-hitter candidate list
+// when its estimated count exceeds 1/heavyAdmitFraction of the records
+// written so far.
+const heavyAdmitFraction = 16
+
+// WriterConfig configures a partitioned writer.
+type WriterConfig struct {
+	// Store is the bag store the physical partition bags live in.
+	Store *bag.Store
+	// Edge is the logical partitioned bag name.
+	Edge string
+	// Parts is the edge's base partition count.
+	Parts int
+	// WriterID identifies this producer worker for cumulative sketch
+	// pushes (typically the worker's blueprint ID).
+	WriterID string
+	// Partitioner overrides the base partitioner (default HashPartitioner).
+	Partitioner Partitioner
+	// PollEvery / SketchEvery override the control-traffic cadences.
+	PollEvery   int
+	SketchEvery int
+	// SketchSample overrides the 1-in-N sketch sampling rate.
+	SketchSample int
+}
+
+// leafOut is the write pipeline for one physical partition bag: a chunk
+// framer flushing into a pipelined inserter, plus the exact count of
+// records routed there (the master's primary load signal).
+type leafOut struct {
+	name  string
+	w     *chunk.Writer
+	ins   *bag.Inserter
+	count uint64
+}
+
+// Writer routes records to the physical partition bags of one shuffle
+// edge. It adopts new partition-map versions published by the master
+// mid-stream and feeds key counts into the edge's count-min sketch, which
+// is what makes the shuffle skew-aware. A Writer is used by one producer
+// worker goroutine; concurrent producer workers each create their own
+// (their sketch pushes merge storage-side).
+type Writer struct {
+	ctx  context.Context
+	cfg  WriterConfig
+	pm   *PartitionMap
+	scan *bag.Scanner
+	// outs caches one write pipeline per routing decision. RouteRefs are
+	// name-stable across map versions (refinements only add partitions),
+	// so the cache survives map adoption.
+	outs map[RouteRef]*leafOut
+
+	stats    *sketch.EdgeStats
+	heavyIdx map[string]int // key -> index into stats.Heavy
+
+	n  uint64 // records written
+	rr int    // round-robin counter for spread isolations
+}
+
+// NewWriter creates a writer for the edge. The initial routing table is
+// the locally derived base map; newer versions are adopted from the
+// edge's partition-map bag as they appear.
+func NewWriter(ctx context.Context, cfg WriterConfig) *Writer {
+	if cfg.Partitioner == nil {
+		cfg.Partitioner = HashPartitioner{}
+	}
+	if cfg.PollEvery <= 0 {
+		cfg.PollEvery = DefaultPollEvery
+	}
+	if cfg.SketchEvery <= 0 {
+		cfg.SketchEvery = DefaultSketchEvery
+	}
+	if cfg.SketchSample <= 0 {
+		cfg.SketchSample = DefaultSketchSample
+	}
+	return &Writer{
+		ctx:      ctx,
+		cfg:      cfg,
+		pm:       BaseMap(cfg.Edge, cfg.Parts),
+		scan:     cfg.Store.Scanner(PMapBag(cfg.Edge)),
+		outs:     make(map[RouteRef]*leafOut),
+		stats:    sketch.NewEdgeStats(),
+		heavyIdx: make(map[string]int),
+	}
+}
+
+// Map returns the writer's current partition map (for tests/inspection).
+func (w *Writer) Map() *PartitionMap { return w.pm }
+
+// Write routes one record by key to its physical partition bag.
+func (w *Writer) Write(key, rec []byte) error {
+	if w.n%uint64(w.cfg.PollEvery) == 0 {
+		w.pollMap()
+	}
+	ref := w.pm.RouteRefWith(w.cfg.Partitioner, key, w.rr)
+	w.rr++
+	out := w.outs[ref]
+	if out == nil {
+		out = w.newLeaf(ref)
+	}
+	if err := out.w.Append(rec); err != nil {
+		return err
+	}
+	if w.n%uint64(w.cfg.SketchSample) == 0 {
+		w.stats.CM.Add(key, uint64(w.cfg.SketchSample))
+		w.noteHeavy(key)
+	}
+	w.n++
+	out.count++
+	if w.n%uint64(w.cfg.SketchEvery) == 0 {
+		w.pushStats()
+	}
+	return nil
+}
+
+// newLeaf creates the write pipeline for a routing decision.
+func (w *Writer) newLeaf(ref RouteRef) *leafOut {
+	name := w.pm.RefName(ref)
+	ins := w.cfg.Store.Bag(name).Inserter(w.ctx)
+	out := &leafOut{
+		name: name,
+		ins:  ins,
+		w: chunk.NewWriter(w.cfg.Store.ChunkSize(), func(c chunk.Chunk) error {
+			return ins.Insert(c)
+		}),
+	}
+	w.outs[ref] = out
+	return out
+}
+
+// noteHeavy maintains the heavy-hitter candidate list: a key whose
+// count-min estimate exceeds 1/16 of the stream so far is a candidate.
+// Candidate counts are count-min estimates (one-sided error), which is
+// all the master's isolation decision needs.
+func (w *Writer) noteHeavy(key []byte) {
+	est := w.stats.CM.Estimate(key)
+	if est*heavyAdmitFraction < w.n {
+		return
+	}
+	if i, ok := w.heavyIdx[string(key)]; ok {
+		w.stats.Heavy[i].Count = est
+		return
+	}
+	if len(w.stats.Heavy) >= sketch.MaxHeavyKeys {
+		return
+	}
+	w.heavyIdx[string(key)] = len(w.stats.Heavy)
+	w.stats.Heavy = append(w.stats.Heavy, sketch.HeavyKey{
+		Key: append([]byte(nil), key...), Count: est,
+	})
+}
+
+// pollMap adopts the newest partition map published for the edge, if any.
+// Failures are ignored: routing by a stale map is always correct, only
+// less balanced.
+func (w *Writer) pollMap() {
+	_, _ = w.scan.Drain(w.ctx, func(c chunk.Chunk) error {
+		pm, err := DecodePartitionMap(c)
+		if err != nil || pm.Bag != w.cfg.Edge {
+			return nil // ignore foreign/corrupt records
+		}
+		if pm.Version > w.pm.Version {
+			w.pm = pm
+		}
+		return nil
+	})
+}
+
+// pushStats pushes the writer's cumulative stats to the edge's sketch home
+// slot. Best-effort: detection is advisory. Per-leaf counts live on the
+// leaf pipelines during writing and are snapshotted here.
+func (w *Writer) pushStats() {
+	counts := make(map[string]uint64, len(w.outs))
+	for _, out := range w.outs {
+		counts[out.name] = out.count
+	}
+	w.stats.Counts = counts
+	_ = w.cfg.Store.PushSketch(w.ctx, w.cfg.Edge, w.cfg.WriterID, w.stats)
+}
+
+// Close flushes every partition bag's buffered chunks, waits for all
+// outstanding inserts, and pushes the final sketch update. It must be
+// called (and its error checked) before the producer reports completion —
+// the engine's TaskCtx.OnFinish hook does this automatically for writers
+// created through the public API.
+func (w *Writer) Close() error {
+	var firstErr error
+	for _, out := range w.outs {
+		if err := out.w.Flush(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shuffle: flushing %s: %w", out.name, err)
+		}
+	}
+	for _, out := range w.outs {
+		if err := out.ins.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shuffle: closing %s: %w", out.name, err)
+		}
+	}
+	w.pushStats()
+	return firstErr
+}

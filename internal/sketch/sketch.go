@@ -1,0 +1,266 @@
+// Package sketch implements the mergeable frequency sketches that drive
+// Hurricane's skew detection. The count-min sketch is the paper's canonical
+// mergeable aggregate (§2.3); the shuffle subsystem additionally uses it on
+// the producer side: every partitioned writer folds its routed keys into a
+// sketch, storage nodes merge the per-producer sketches, and the
+// application master reads the merged sketch to find heavy-hitter
+// partitions worth splitting (in the spirit of Reshape's hot-partition
+// detection and SharesSkew's dedicated heavy-hitter handling).
+//
+// The package sits below both the public hurricane package (which
+// re-exports CountMin) and internal/storage (which merges pushed sketches),
+// so it must not import any other engine package.
+package sketch
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Default count-min dimensions used by the shuffle subsystem: ε ≈ 2/width
+// ≈ 0.2% of insertions, δ = (1/2)^depth ≈ 6%.
+const (
+	DefaultWidth = 1024
+	DefaultDepth = 4
+)
+
+// MaxHeavyKeys caps the heavy-hitter candidate list carried by EdgeStats.
+const MaxHeavyKeys = 32
+
+// CountMin is a count-min sketch: a width×depth counter matrix estimating
+// per-key frequencies with one-sided error (estimates never undercount).
+type CountMin struct {
+	width, depth int
+	counts       []uint64 // depth rows of width counters
+}
+
+// NewCountMin creates a sketch with the given width (columns per row) and
+// depth (independent hash rows). Estimation error is ≈ 2N/width with
+// probability 1 − (1/2)^depth over N insertions.
+func NewCountMin(width, depth int) *CountMin {
+	if width < 1 || depth < 1 {
+		panic("sketch: count-min dimensions must be positive")
+	}
+	return &CountMin{width: width, depth: depth, counts: make([]uint64, width*depth)}
+}
+
+// mix64 is a murmur3-style finalizer used to derive the second hash for
+// Kirsch–Mitzenmacher double hashing.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// cmHashes derives the per-row hashes from a single FNV pass over the key
+// (Kirsch–Mitzenmacher: h_r = h1 + r·h2). The sketch sits on the shuffle
+// writer's per-record hot path, so one key scan instead of depth scans
+// matters.
+func cmHashes(key []byte) (h1, h2 uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 = h.Sum64()
+	h2 = mix64(h1) | 1 // odd, so rows stay distinct mod any width
+	return
+}
+
+// Add increments key's count by n.
+func (c *CountMin) Add(key []byte, n uint64) {
+	h1, h2 := cmHashes(key)
+	for r := 0; r < c.depth; r++ {
+		idx := r*c.width + int((h1+uint64(r)*h2)%uint64(c.width))
+		c.counts[idx] += n
+	}
+}
+
+// Estimate returns the (over-)estimate of key's count.
+func (c *CountMin) Estimate(key []byte) uint64 {
+	h1, h2 := cmHashes(key)
+	est := uint64(math.MaxUint64)
+	for r := 0; r < c.depth; r++ {
+		idx := r*c.width + int((h1+uint64(r)*h2)%uint64(c.width))
+		if c.counts[idx] < est {
+			est = c.counts[idx]
+		}
+	}
+	return est
+}
+
+// Merge adds another sketch of identical dimensions cell-wise.
+func (c *CountMin) Merge(other *CountMin) error {
+	if other.width != c.width || other.depth != c.depth {
+		return fmt.Errorf("sketch: count-min dimensions %dx%d != %dx%d",
+			other.width, other.depth, c.width, c.depth)
+	}
+	for i, v := range other.counts {
+		c.counts[i] += v
+	}
+	return nil
+}
+
+// Encode serializes the sketch as one record.
+func (c *CountMin) Encode() []byte {
+	buf := binary.AppendUvarint(nil, uint64(c.width))
+	buf = binary.AppendUvarint(buf, uint64(c.depth))
+	for _, v := range c.counts {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	return buf
+}
+
+// DecodeCountMin parses an encoded sketch.
+func DecodeCountMin(data []byte) (*CountMin, error) {
+	w, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("sketch: bad count-min record")
+	}
+	data = data[n:]
+	d, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("sketch: bad count-min record")
+	}
+	data = data[n:]
+	// Bound each dimension before multiplying: a crafted blob with
+	// w ≈ 2^63 would overflow w*d past the guard and panic NewCountMin.
+	if w == 0 || d == 0 || w > 1<<28 || d > 64 || w*d > 1<<28 {
+		return nil, fmt.Errorf("sketch: implausible count-min dimensions %dx%d", w, d)
+	}
+	c := NewCountMin(int(w), int(d))
+	for i := range c.counts {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("sketch: truncated count-min record")
+		}
+		c.counts[i] = v
+		data = data[n:]
+	}
+	return c, nil
+}
+
+// ---- per-edge shuffle statistics ----
+
+// HeavyKey is one heavy-hitter candidate observed by a partitioned writer.
+type HeavyKey struct {
+	Key   []byte `json:"key"`
+	Count uint64 `json:"count"`
+}
+
+// EdgeStats aggregates what producers know about one shuffle edge: how many
+// records landed in each physical partition bag, a count-min sketch of the
+// routed keys, and a capped list of heavy-hitter candidates (the count-min
+// sketch alone cannot enumerate heavy keys; candidates supply the key bytes
+// the master needs to isolate them).
+type EdgeStats struct {
+	// Counts maps physical partition bag name -> records routed there.
+	Counts map[string]uint64 `json:"counts,omitempty"`
+	// CM sketches per-key frequencies across the whole edge.
+	CM *CountMin `json:"-"`
+	// Heavy lists heavy-hitter candidate keys with their counts.
+	Heavy []HeavyKey `json:"heavy,omitempty"`
+}
+
+// NewEdgeStats returns empty stats with a default-dimension sketch.
+func NewEdgeStats() *EdgeStats {
+	return &EdgeStats{
+		Counts: make(map[string]uint64),
+		CM:     NewCountMin(DefaultWidth, DefaultDepth),
+	}
+}
+
+// Total returns the total number of records recorded across partitions.
+func (e *EdgeStats) Total() uint64 {
+	var t uint64
+	for _, c := range e.Counts {
+		t += c
+	}
+	return t
+}
+
+// Merge folds another stats blob into e: partition counts add, sketches
+// merge cell-wise, and heavy lists combine key-wise (keeping the top
+// MaxHeavyKeys by count). Merging per-producer stats this way yields the
+// same result as a single producer having observed the union.
+func (e *EdgeStats) Merge(other *EdgeStats) error {
+	if e.Counts == nil {
+		e.Counts = make(map[string]uint64)
+	}
+	for k, v := range other.Counts {
+		e.Counts[k] += v
+	}
+	if other.CM != nil {
+		if e.CM == nil {
+			e.CM = NewCountMin(other.CM.width, other.CM.depth)
+		}
+		if err := e.CM.Merge(other.CM); err != nil {
+			return err
+		}
+	}
+	if len(other.Heavy) > 0 {
+		byKey := make(map[string]uint64, len(e.Heavy)+len(other.Heavy))
+		for _, h := range e.Heavy {
+			byKey[string(h.Key)] += h.Count
+		}
+		for _, h := range other.Heavy {
+			byKey[string(h.Key)] += h.Count
+		}
+		merged := make([]HeavyKey, 0, len(byKey))
+		for k, c := range byKey {
+			merged = append(merged, HeavyKey{Key: []byte(k), Count: c})
+		}
+		sort.Slice(merged, func(i, j int) bool {
+			if merged[i].Count != merged[j].Count {
+				return merged[i].Count > merged[j].Count
+			}
+			return string(merged[i].Key) < string(merged[j].Key)
+		})
+		if len(merged) > MaxHeavyKeys {
+			merged = merged[:MaxHeavyKeys]
+		}
+		e.Heavy = merged
+	}
+	return nil
+}
+
+// edgeStatsWire is the serialized form; the count-min sketch travels as its
+// own binary encoding inside the JSON envelope.
+type edgeStatsWire struct {
+	Counts map[string]uint64 `json:"counts,omitempty"`
+	CM     []byte            `json:"cm,omitempty"`
+	Heavy  []HeavyKey        `json:"heavy,omitempty"`
+}
+
+// Encode serializes the stats as one record.
+func (e *EdgeStats) Encode() ([]byte, error) {
+	w := edgeStatsWire{Counts: e.Counts, Heavy: e.Heavy}
+	if e.CM != nil {
+		w.CM = e.CM.Encode()
+	}
+	return json.Marshal(&w)
+}
+
+// DecodeEdgeStats parses an encoded stats record.
+func DecodeEdgeStats(data []byte) (*EdgeStats, error) {
+	var w edgeStatsWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("sketch: bad edge-stats record: %v", err)
+	}
+	e := &EdgeStats{Counts: w.Counts, Heavy: w.Heavy}
+	if e.Counts == nil {
+		e.Counts = make(map[string]uint64)
+	}
+	if len(w.CM) > 0 {
+		cm, err := DecodeCountMin(w.CM)
+		if err != nil {
+			return nil, err
+		}
+		e.CM = cm
+	}
+	return e, nil
+}

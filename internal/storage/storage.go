@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/sketch"
 	"repro/internal/transport"
 )
 
@@ -53,6 +54,13 @@ type Node struct {
 	bags     map[string]*bagState
 	draining bool
 
+	// sketches holds shuffle-edge statistics: edge name -> producer
+	// worker ID -> that producer's latest cumulative stats push. Producers
+	// push cumulative (not delta) stats, so a re-push replaces rather than
+	// accumulates, and a fetch merges across producers.
+	sketchMu sync.Mutex
+	sketches map[string]map[string][]byte
+
 	newBackend func(bag string) (backend, error)
 }
 
@@ -73,8 +81,9 @@ func WithDir(dir string) Option {
 // NewNode returns a storage node with the given name.
 func NewNode(name string, opts ...Option) *Node {
 	n := &Node{
-		name: name,
-		bags: make(map[string]*bagState),
+		name:     name,
+		bags:     make(map[string]*bagState),
+		sketches: make(map[string]map[string][]byte),
 		newBackend: func(string) (backend, error) {
 			return &memBackend{}, nil
 		},
@@ -155,6 +164,8 @@ func (n *Node) Handle(req *transport.Request) *transport.Response {
 		return n.handleRename(req)
 	case transport.OpReadAt:
 		return n.handleReadAt(req)
+	case transport.OpSketch:
+		return n.handleSketch(req)
 	default:
 		return errResp(fmt.Errorf("storage: unknown op %v", req.Op))
 	}
@@ -335,6 +346,56 @@ func (n *Node) handleRename(req *transport.Request) *transport.Response {
 	delete(n.bags, req.Bag)
 	n.bags[req.Dst] = bs
 	return &transport.Response{Status: transport.StatusOK}
+}
+
+// handleSketch serves the shuffle-edge statistics protocol. A request with
+// a payload stores the producer's (req.Dst) cumulative stats for the edge
+// (req.Bag); a request without a payload returns the merge of every
+// producer's stats. Sketch state is advisory — it only steers the master's
+// split decisions — so it is deliberately not replicated or persisted.
+func (n *Node) handleSketch(req *transport.Request) *transport.Response {
+	if len(req.Data) > 0 {
+		// Validate before storing so a fetch never fails on a corrupt blob.
+		if _, err := sketch.DecodeEdgeStats(req.Data); err != nil {
+			return errResp(err)
+		}
+		n.sketchMu.Lock()
+		defer n.sketchMu.Unlock()
+		byWriter, ok := n.sketches[req.Bag]
+		if !ok {
+			byWriter = make(map[string][]byte)
+			n.sketches[req.Bag] = byWriter
+		}
+		byWriter[req.Dst] = append([]byte(nil), req.Data...)
+		return &transport.Response{Status: transport.StatusOK}
+	}
+	if req.Arg == transport.SketchClear {
+		n.sketchMu.Lock()
+		delete(n.sketches, req.Bag)
+		n.sketchMu.Unlock()
+		return &transport.Response{Status: transport.StatusOK}
+	}
+	n.sketchMu.Lock()
+	blobs := make([][]byte, 0, len(n.sketches[req.Bag]))
+	for _, b := range n.sketches[req.Bag] {
+		blobs = append(blobs, b)
+	}
+	n.sketchMu.Unlock()
+	merged := sketch.NewEdgeStats()
+	for _, b := range blobs {
+		st, err := sketch.DecodeEdgeStats(b)
+		if err != nil {
+			return errResp(err)
+		}
+		if err := merged.Merge(st); err != nil {
+			return errResp(err)
+		}
+	}
+	data, err := merged.Encode()
+	if err != nil {
+		return errResp(err)
+	}
+	return &transport.Response{Status: transport.StatusOK, Data: data}
 }
 
 // handleReadAt returns chunk req.Arg without consuming it, supporting

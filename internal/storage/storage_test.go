@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/sketch"
 	"repro/internal/transport"
 )
 
@@ -304,5 +305,103 @@ func TestUnknownOp(t *testing.T) {
 	resp := n.Handle(&transport.Request{Op: transport.Op(99)})
 	if resp.Status != transport.StatusErr {
 		t.Fatalf("unknown op: %+v", resp)
+	}
+}
+
+// TestNodeSketchPushFetch: OpSketch with a payload stores a producer's
+// cumulative edge stats; without a payload it returns the merge across
+// producers. Cumulative re-pushes replace, so nothing double-counts.
+func TestNodeSketchPushFetch(t *testing.T) {
+	n := NewNode("s0")
+
+	push := func(writer string, counts map[string]uint64) {
+		t.Helper()
+		st := sketch.NewEdgeStats()
+		for k, v := range counts {
+			st.Counts[k] = v
+			st.CM.Add([]byte(k), v)
+		}
+		data, err := st.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := n.Handle(&transport.Request{
+			Op: transport.OpSketch, Bag: "shuf", Dst: writer, Data: data,
+		})
+		if !resp.OK() {
+			t.Fatalf("push: %+v", resp)
+		}
+	}
+	fetch := func() *sketch.EdgeStats {
+		t.Helper()
+		resp := n.Handle(&transport.Request{Op: transport.OpSketch, Bag: "shuf"})
+		if !resp.OK() {
+			t.Fatalf("fetch: %+v", resp)
+		}
+		st, err := sketch.DecodeEdgeStats(resp.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	// Empty fetch: zero stats, not an error.
+	if st := fetch(); st.Total() != 0 {
+		t.Fatalf("empty edge reports total %d", st.Total())
+	}
+
+	push("w0", map[string]uint64{"shuf.p0": 100, "shuf.p1": 10})
+	push("w1", map[string]uint64{"shuf.p0": 50})
+	st := fetch()
+	if st.Counts["shuf.p0"] != 150 || st.Counts["shuf.p1"] != 10 {
+		t.Fatalf("merged counts %v", st.Counts)
+	}
+
+	// w0 re-pushes larger cumulative stats: replaces, not adds.
+	push("w0", map[string]uint64{"shuf.p0": 120, "shuf.p1": 30})
+	st = fetch()
+	if st.Counts["shuf.p0"] != 170 || st.Counts["shuf.p1"] != 30 {
+		t.Fatalf("counts after re-push %v", st.Counts)
+	}
+	if est := st.CM.Estimate([]byte("shuf.p0")); est < 170 {
+		t.Fatalf("merged count-min undercounts: %d", est)
+	}
+
+	// Corrupt pushes are rejected and never poison fetches.
+	resp := n.Handle(&transport.Request{
+		Op: transport.OpSketch, Bag: "shuf", Dst: "w2", Data: []byte("{"),
+	})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("corrupt push accepted: %+v", resp)
+	}
+	if st := fetch(); st.Counts["shuf.p0"] != 170 {
+		t.Fatalf("fetch after corrupt push: %v", st.Counts)
+	}
+
+	// Sketch state is per-edge.
+	if resp := n.Handle(&transport.Request{Op: transport.OpSketch, Bag: "other"}); !resp.OK() {
+		t.Fatalf("other edge fetch: %+v", resp)
+	} else if st, _ := sketch.DecodeEdgeStats(resp.Data); st.Total() != 0 {
+		t.Fatalf("edges share sketch state")
+	}
+
+	// A crafted blob with overflowing count-min dimensions is rejected,
+	// not a panic (the TCP server has no recover).
+	resp = n.Handle(&transport.Request{
+		Op: transport.OpSketch, Bag: "shuf", Dst: "w3",
+		Data: []byte(`{"cm":"gICAgICAgICAAQI="}`), // width=1<<63, depth=2
+	})
+	if resp.Status != transport.StatusErr {
+		t.Fatalf("overflowing dimensions accepted: %+v", resp)
+	}
+
+	// SketchClear drops the edge's state.
+	if resp := n.Handle(&transport.Request{
+		Op: transport.OpSketch, Bag: "shuf", Arg: transport.SketchClear,
+	}); !resp.OK() {
+		t.Fatalf("clear: %+v", resp)
+	}
+	if st := fetch(); st.Total() != 0 {
+		t.Fatalf("state survived clear: %v", st.Counts)
 	}
 }

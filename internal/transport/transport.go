@@ -35,13 +35,26 @@ const (
 	OpReadAt                // read chunk at index without consuming (shared scans)
 	OpPing                  // liveness probe
 	OpAdvance               // move the read pointer forward monotonically (replica sync)
+	// OpSketch carries shuffle-edge statistics. With a payload it pushes a
+	// producer's edge stats (partition counts + count-min sketch), which
+	// the storage node merges into its per-edge state; without a payload
+	// it fetches the merged stats, which the application master uses to
+	// detect hot partitions worth splitting; with Arg == SketchClear it
+	// drops the edge's stats (job completion / failure recovery).
+	// Request.Dst carries the producer's worker identifier so repeated
+	// cumulative pushes replace rather than double-count.
+	OpSketch
 )
+
+// SketchClear, passed in Request.Arg with a payload-less OpSketch, drops
+// the edge's sketch state instead of fetching it.
+const SketchClear int64 = 1
 
 var opNames = map[Op]string{
 	OpInsert: "insert", OpRemove: "remove", OpSeal: "seal",
 	OpSample: "sample", OpRewind: "rewind", OpDiscard: "discard",
 	OpDelete: "delete", OpRename: "rename", OpReadAt: "readAt",
-	OpPing: "ping", OpAdvance: "advance",
+	OpPing: "ping", OpAdvance: "advance", OpSketch: "sketch",
 }
 
 func (o Op) String() string {
