@@ -1,20 +1,32 @@
 // Command hurricane-bench regenerates the paper's evaluation tables and
-// figures from the cluster simulator and baseline models.
+// figures from the cluster simulator and baseline models, and can drive
+// the real embedded engine for a verified end-to-end run.
 //
 // Usage:
 //
 //	hurricane-bench [experiment ...]
 //
-// With no arguments it runs everything. Experiments: table1 table2 table3
-// table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 storage-scaling
-// utilization.
+// With no arguments it runs every simulator experiment. Experiments:
+// table1 table2 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+// storage-scaling utilization.
+//
+// "engine-clicklog" additionally runs the skewed ClickLog application on
+// the real embedded engine (not the simulator), verifies every region
+// count against ground truth, and prints the master's mitigation stats —
+// the quick live-cluster sanity check that used to live in a separate
+// debug harness.
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 var all = []string{
@@ -69,8 +81,62 @@ func run(name string) error {
 		fmt.Print(experiments.FormatScaling(experiments.StorageScaling()))
 	case "utilization":
 		fmt.Print(experiments.FormatUtilization(experiments.BatchUtilization(32), 32))
+	case "engine-clicklog":
+		return engineClickLog()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}
+	return nil
+}
+
+// engineClickLog runs the skewed ClickLog job on the real embedded engine
+// and verifies the distinct-per-region counts against ground truth.
+func engineClickLog() error {
+	const regions, hostBits, records = 16, 12, 50000
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		StorageNodes: 4, ComputeNodes: 4, SlotsPerNode: 2,
+		ChunkSize: 32 << 10,
+		Master:    core.MasterConfig{CloneInterval: 50 * time.Millisecond},
+		Node: core.NodeConfig{
+			MonitorInterval:   25 * time.Millisecond,
+			OverloadThreshold: 0.5,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer cluster.Shutdown()
+
+	gen := workload.ClickLogGen{S: 1.0, Regions: regions, UniquePerRegion: 1 << hostBits, Seed: 42}
+	ips := gen.Generate(records)
+	want := workload.DistinctPerRegion(ips, regions)
+	if err := apps.LoadClickLog(ctx, cluster.Store(), ips); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := cluster.Run(ctx, apps.ClickLogApp(regions, hostBits, false)); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	got, err := apps.ClickLogCounts(ctx, cluster.Store(), regions)
+	if err != nil {
+		return err
+	}
+	bad := 0
+	for r := range want {
+		if got[r] != want[r] {
+			bad++
+			fmt.Printf("engine-clicklog: region %d: got %d want %d\n", r, got[r], want[r])
+		}
+	}
+	fmt.Printf("engine-clicklog: %d records, %d regions, %v, stats %+v\n",
+		records, regions, elapsed.Round(time.Millisecond), cluster.Master().Stats())
+	if bad > 0 {
+		return fmt.Errorf("engine-clicklog: %d/%d regions wrong", bad, regions)
+	}
+	fmt.Println("engine-clicklog: all region counts verified")
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/bag"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/ctrl"
 )
 
 // Re-exported engine types. The core engine lives in internal/core; these
@@ -83,6 +84,66 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cf
 
 // NewApp returns an empty application graph.
 func NewApp(name string) *App { return core.NewApp(name) }
+
+// ---- adaptive control plane (internal/ctrl) ----
+//
+// Skew mitigation runs as pluggable policies over an event-driven
+// telemetry hub. The master builds versioned Snapshots from worker
+// heartbeats, overload signals, bag depths, and merged shuffle-edge
+// sketches; each configured Policy proposes declarative Actions; the
+// arbiter resolves conflicts (clone-vs-split on one edge, slot budgets)
+// and the master applies the survivors transactionally.
+//
+// Select policies per job through MasterConfig.Policies: nil installs the
+// default set derived from the flags (DisableCloning, SpeculativeCloning,
+// DisableSplitting); an explicit empty slice disables all mitigation. A
+// custom policy implements Policy — and EdgeStatsConsumer if it reads
+// shuffle-edge sketches — and composes freely with the built-ins:
+//
+//	cfg.Master.Policies = append(
+//		hurricane.DefaultPolicies(cfg.Master),
+//		&myDeadlinePolicy{},
+//	)
+type (
+	// Policy is one interchangeable skew-mitigation strategy: it reads a
+	// telemetry Snapshot and proposes Actions.
+	Policy = ctrl.Policy
+	// Snapshot is a versioned, read-only view of cluster telemetry.
+	Snapshot = ctrl.Snapshot
+	// Action is a declarative mitigation decision. The vocabulary is
+	// closed — CloneTask, SplitPartition, IsolateKey (and the internal
+	// bookkeeping actions) are everything the master can apply; custom
+	// policies compose these rather than defining new action types.
+	Action = ctrl.Action
+	// CloneTask schedules one additional worker for a running task.
+	CloneTask = ctrl.CloneTask
+	// SplitPartition re-hashes a hot base partition of a shuffle edge.
+	SplitPartition = ctrl.SplitPartition
+	// IsolateKey diverts a heavy-hitter key into a dedicated bag.
+	IsolateKey = ctrl.IsolateKey
+	// TaskTel is per-task telemetry within a Snapshot.
+	TaskTel = ctrl.TaskTel
+	// EdgeTel is per-shuffle-edge telemetry within a Snapshot.
+	EdgeTel = ctrl.EdgeTel
+	// PolicyConfig carries the tuning knobs shared by built-in policies.
+	PolicyConfig = ctrl.Config
+	// EdgeStatsConsumer marks policies that need shuffle-edge sketches
+	// fetched into their snapshots.
+	EdgeStatsConsumer = ctrl.EdgeStatsConsumer
+	// ClonePolicy is the paper's reactive cloning mitigation (§4.2).
+	ClonePolicy = ctrl.ClonePolicy
+	// SpeculativePolicy proactively clones stragglers (§3.5).
+	SpeculativePolicy = ctrl.SpeculativePolicy
+	// SplitPartitionPolicy re-hashes hot partitions (Reshape-style).
+	SplitPartitionPolicy = ctrl.SplitPartitionPolicy
+	// IsolateKeyPolicy isolates dominant heavy-hitter keys.
+	IsolateKeyPolicy = ctrl.IsolateKeyPolicy
+)
+
+// DefaultPolicies builds the mitigation set described by cfg's flags:
+// reactive cloning, speculative cloning, partition splitting, and key
+// isolation, each included unless the corresponding flag disables it.
+func DefaultPolicies(cfg MasterConfig) []Policy { return core.DefaultPolicies(cfg) }
 
 // ErrEmpty is the end-of-bag signal returned by Bag.Remove and TaskCtx
 // input reads.

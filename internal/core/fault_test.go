@@ -213,7 +213,8 @@ func TestComputeNodeCrashRecovery(t *testing.T) {
 	}
 	want := int64(n) * (n - 1) / 2
 	if got := readSum(t, ctx, cluster.Store()); got != want {
-		t.Fatalf("sum = %d, want %d", got, want)
+		t.Fatalf("sum = %d, want %d (processed %d, stats %+v)", got, want,
+			processed.Load(), cluster.Master().Stats())
 	}
 	stats := cluster.Master().Stats()
 	if stats.Recoveries == 0 {

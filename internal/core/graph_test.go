@@ -241,7 +241,15 @@ func TestClusterConfigDefaults(t *testing.T) {
 	}
 	mc := MasterConfig{}
 	mc.fill()
-	if mc.PollInterval == 0 || mc.CloneInterval == 0 || mc.StorageBandwidth == 0 {
+	if mc.CloneInterval == 0 || mc.StorageBandwidth == 0 || mc.SpeculativeAfter == 0 ||
+		mc.SplitInterval == 0 || mc.SplitImbalance == 0 || mc.SplitMinRecords == 0 ||
+		mc.SplitFan < 2 || mc.IsolateFraction == 0 {
 		t.Fatalf("master defaults not filled: %+v", mc)
+	}
+	// PollInterval is deliberately NOT filled: the control loop is
+	// event-driven, and the knob only pins the fallback timer when the
+	// caller sets it explicitly.
+	if mc.PollInterval != 0 {
+		t.Fatalf("PollInterval should stay a compatibility knob, got %v", mc.PollInterval)
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/ctrl"
 	"repro/internal/shuffle"
+	"repro/internal/sketch"
 )
 
 // ClusterControl is the interface through which the master exerts
@@ -25,7 +27,10 @@ type ClusterControl interface {
 
 // MasterConfig tunes the application master.
 type MasterConfig struct {
-	// PollInterval is the master's tick period.
+	// PollInterval is a compatibility knob from the polling era: the
+	// control loop is event-driven (it blocks on telemetry signals), and a
+	// non-zero PollInterval merely pins the loop's idle fallback timer to
+	// this period. Zero selects an adaptive coarse fallback.
 	PollInterval time.Duration
 	// CloneInterval is the minimum gap between successive clones of one
 	// task. The paper sends clone messages at least 2 seconds apart.
@@ -60,8 +65,8 @@ type MasterConfig struct {
 	// DisableSplitting turns off hot-partition splitting for partitioned
 	// bags (static hash partitioning; the Reshape-style baseline).
 	DisableSplitting bool
-	// SplitInterval is the minimum gap between successive splits of one
-	// shuffle edge (default CloneInterval).
+	// SplitInterval is the minimum gap between successive merged-sketch
+	// fetches of one shuffle edge (default CloneInterval).
 	SplitInterval time.Duration
 	// SplitImbalance triggers a split when the hottest physical partition
 	// holds more than SplitImbalance × the mean partition load
@@ -78,12 +83,17 @@ type MasterConfig struct {
 	// fraction of a hot partition's records, the key is isolated into a
 	// dedicated bag instead of re-hashing the partition (default 0.5).
 	IsolateFraction float64
+
+	// Policies selects the mitigation strategies the control plane runs
+	// for this job. Nil installs the default set derived from the flags
+	// above (DefaultPolicies); an explicit empty slice disables all
+	// mitigation. Custom policies implement ctrl.Policy; policies that
+	// read shuffle-edge sketches should also implement
+	// ctrl.EdgeStatsConsumer so the telemetry hub fetches them.
+	Policies []ctrl.Policy
 }
 
 func (c *MasterConfig) fill() {
-	if c.PollInterval <= 0 {
-		c.PollInterval = 2 * time.Millisecond
-	}
 	if c.CloneInterval <= 0 {
 		c.CloneInterval = 2 * time.Second // paper default
 	}
@@ -108,6 +118,42 @@ func (c *MasterConfig) fill() {
 	if c.IsolateFraction <= 0 {
 		c.IsolateFraction = 0.5
 	}
+}
+
+// ctrlConfig projects the master tuning knobs onto the control plane's
+// policy configuration.
+func (c *MasterConfig) ctrlConfig() ctrl.Config {
+	return ctrl.Config{
+		CloneInterval:    c.CloneInterval,
+		StorageBandwidth: c.StorageBandwidth,
+		DisableHeuristic: c.DisableHeuristic,
+		SpeculativeAfter: c.SpeculativeAfter,
+		SplitImbalance:   c.SplitImbalance,
+		SplitMinRecords:  c.SplitMinRecords,
+		SplitFan:         c.SplitFan,
+		IsolateFraction:  c.IsolateFraction,
+	}
+}
+
+// DefaultPolicies builds the mitigation set the flags in cfg describe:
+// reactive cloning (unless DisableCloning), speculative cloning (if
+// SpeculativeCloning), and hot-partition splitting plus heavy-key
+// isolation (unless DisableSplitting). Callers composing custom policy
+// chains can start from this set.
+func DefaultPolicies(cfg MasterConfig) []ctrl.Policy {
+	cfg.fill()
+	c := cfg.ctrlConfig()
+	var ps []ctrl.Policy
+	if !cfg.DisableCloning {
+		ps = append(ps, &ctrl.ClonePolicy{Cfg: c})
+		if cfg.SpeculativeCloning {
+			ps = append(ps, &ctrl.SpeculativePolicy{Cfg: c})
+		}
+	}
+	if !cfg.DisableSplitting {
+		ps = append(ps, &ctrl.SplitPartitionPolicy{Cfg: c}, &ctrl.IsolateKeyPolicy{Cfg: c})
+	}
+	return ps
 }
 
 // taskState is the master's view of one task of the execution graph.
@@ -152,12 +198,6 @@ func (st *taskState) partials() []string {
 	return out
 }
 
-type overloadMsg struct {
-	node string
-	bp   *Blueprint
-	busy float64
-}
-
 type nodeState struct {
 	lastBeat time.Time
 	running  int
@@ -166,16 +206,25 @@ type nodeState struct {
 }
 
 // Master is the application master (§3.1): it drives the application's
-// computation, schedules tasks as their input bags become ready, makes
-// cloning decisions, injects merge tasks, and recovers from compute-node
-// failures. All of its durable state lives in the work bags, so a crashed
-// master recovers by replaying them (§4.4).
+// computation, schedules tasks as their input bags become ready, injects
+// merge tasks, and recovers from compute-node failures. All of its durable
+// state lives in the work bags, so a crashed master recovers by replaying
+// them (§4.4).
+//
+// Skew mitigation is delegated to the control plane (internal/ctrl): the
+// master forwards telemetry into the hub, evaluates the configured
+// policies against the hub's versioned snapshots, and applies the
+// surviving Actions transactionally. It makes no mitigation decisions of
+// its own.
 type Master struct {
 	app     *App
 	store   *bag.Store
 	wb      *workBags
 	cfg     MasterConfig
 	control ClusterControl
+
+	hub      *ctrl.Hub
+	policies []ctrl.Policy
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -191,15 +240,15 @@ type Master struct {
 	doneCh     chan struct{}
 	doneOnce   sync.Once
 
-	overloadCh chan overloadMsg
-	recoverCh  chan string // dead compute nodes awaiting recovery
+	recoverCh chan string // dead compute nodes awaiting recovery
 
 	doneScan  *bag.Scanner
 	runScan   *bag.Scanner
 	readyScan *bag.Scanner
 
 	// edges tracks the app's partitioned shuffle bags (core/shuffle.go).
-	// Accessed only from the master loop goroutine after NewMaster.
+	// Accessed only from the master loop goroutine after NewMaster, except
+	// for pmap which is swapped under m.mu.
 	edges map[string]*shuffleEdge
 
 	// counters for observability and tests
@@ -228,7 +277,6 @@ func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterCon
 		nodes:      make(map[string]*nodeState),
 		seenEvents: make(map[string]bool),
 		doneCh:     make(chan struct{}),
-		overloadCh: make(chan overloadMsg, 1024),
 		recoverCh:  make(chan string, 64),
 	}
 	for _, name := range app.Tasks() {
@@ -243,7 +291,37 @@ func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterCon
 	m.doneScan = m.wb.doneScanner()
 	m.runScan = m.wb.runningScanner()
 	m.readyScan = m.wb.readyScanner()
+
+	m.policies = cfg.Policies
+	if m.policies == nil {
+		m.policies = DefaultPolicies(cfg)
+	}
+	hubCfg := ctrl.HubConfig{FetchInterval: cfg.SplitInterval}
+	if wantsEdgeStats(m.policies) && len(m.edges) > 0 {
+		hubCfg.FetchStats = func(ctx context.Context, edge string) (*sketch.EdgeStats, error) {
+			return store.FetchSketch(ctx, edge)
+		}
+	}
+	hubCfg.SampleBag = func(ctx context.Context, bagName string) (*ctrl.BagTel, error) {
+		stats, err := store.SampleSlots(ctx, bagName, cfg.SampleSlots)
+		if err != nil {
+			return nil, err
+		}
+		return &ctrl.BagTel{ReadBytes: stats.ReadBytes, RemainingBytes: stats.RemainingBytes()}, nil
+	}
+	m.hub = ctrl.NewHub(hubCfg)
 	return m
+}
+
+// wantsEdgeStats reports whether any installed policy consumes shuffle
+// edge sketches; if none does, the hub skips the storage-tier fetches.
+func wantsEdgeStats(policies []ctrl.Policy) bool {
+	for _, p := range policies {
+		if c, ok := p.(ctrl.EdgeStatsConsumer); ok && c.WantsEdgeStats() {
+			return true
+		}
+	}
+	return false
 }
 
 // WorkBags exposes the app's work-bag interface (used by compute nodes).
@@ -278,7 +356,7 @@ func (m *Master) Err() error {
 // Stats reports master activity counters.
 type MasterStats struct {
 	Clones        int // clones created
-	CloneRejects  int // clone requests rejected by the heuristic
+	CloneRejects  int // clone requests rejected (no slot or Eq. 2)
 	MergeTasks    int // merge tasks injected
 	RenameAdopts  int // sole-worker outputs adopted by rename
 	Recoveries    int // compute-node failure recoveries
@@ -366,20 +444,28 @@ func (m *Master) Stats() MasterStats {
 	}
 }
 
-// ---- masterAPI (control messages from compute nodes) ----
+// ---- masterAPI (telemetry forwarding from compute nodes) ----
 
-// overload implements masterAPI.
+// overload implements masterAPI: the signal is forwarded into the
+// telemetry hub, where the configured policies will see it in the next
+// snapshot.
 func (m *Master) overload(node string, bp *Blueprint, busy float64) {
-	select {
-	case m.overloadCh <- overloadMsg{node: node, bp: bp, busy: busy}:
-	default: // drop under pressure; overload signals are advisory
-	}
+	m.hub.OverloadSignal(ctrl.Overload{
+		Node:   node,
+		Task:   bp.Spec,
+		Epoch:  bp.Epoch,
+		Worker: bp.Worker,
+		Merge:  bp.Kind == KindMerge,
+		Inputs: bp.Inputs,
+		Busy:   busy,
+	})
 }
 
-// heartbeat implements masterAPI.
+// heartbeat implements masterAPI. Liveness bookkeeping for failure
+// detection stays here; the telemetry copy goes to the hub (which also
+// wakes the control loop).
 func (m *Master) heartbeat(node string, running, slots int) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	ns := m.nodes[node]
 	if ns == nil {
 		ns = &nodeState{}
@@ -389,14 +475,60 @@ func (m *Master) heartbeat(node string, running, slots int) {
 	ns.running = running
 	ns.slots = slots
 	ns.dead = false
+	m.mu.Unlock()
+	m.hub.Heartbeat(node, running, slots)
+}
+
+// nudge implements masterAPI: compute nodes call it after inserting
+// work-bag records so the master re-scans immediately.
+func (m *Master) nudge() { m.hub.Nudge() }
+
+// staleBlueprint implements masterAPI: a blueprint whose epoch predates
+// the task's current epoch is a leftover from before a failure recovery
+// and must not run. Epochs only ever advance, so a false negative here
+// (e.g. from a master that has not replayed the recovery yet) merely
+// defers the kill to the recovery's own sweep.
+func (m *Master) staleBlueprint(bp *Blueprint) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.tasks[bp.Spec]
+	return st != nil && bp.Epoch < st.epoch
 }
 
 // ---- control loop ----
 
+// fallbackInterval is the idle loop's timer: the loop is event-driven,
+// and this bounds how long it sleeps when no telemetry arrives (all nodes
+// silent). PollInterval, when set, pins it for compatibility; otherwise a
+// coarse default is clamped by the deadlines that must not be overslept.
+func (m *Master) fallbackInterval() time.Duration {
+	if m.cfg.PollInterval > 0 {
+		return m.cfg.PollInterval
+	}
+	d := 50 * time.Millisecond
+	if m.cfg.FailTimeout > 0 && m.cfg.FailTimeout/4 < d {
+		d = m.cfg.FailTimeout / 4
+	}
+	if m.cfg.SpeculativeCloning && m.cfg.SpeculativeAfter/4 < d {
+		d = m.cfg.SpeculativeAfter / 4
+	}
+	if len(m.edges) > 0 && m.cfg.SplitInterval < d {
+		d = m.cfg.SplitInterval
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
 func (m *Master) loop() {
 	defer m.wg.Done()
+	fallback := m.fallbackInterval()
+	timer := time.NewTimer(fallback)
+	defer timer.Stop()
 	for {
-		if err := m.tick(); err != nil {
+		progress, err := m.tick()
+		if err != nil {
 			m.fail(err)
 			return
 		}
@@ -407,7 +539,23 @@ func (m *Master) loop() {
 			m.doneOnce.Do(func() { close(m.doneCh) })
 			return
 		}
-		if !sleepCtx(m.ctx, m.cfg.PollInterval) {
+		if progress {
+			// Something changed; cascade immediately (a newly sealed bag
+			// may make the next task schedulable, a rename adoption
+			// completes its task, ...).
+			continue
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(fallback)
+		select {
+		case <-m.hub.Wake():
+		case <-timer.C:
+		case <-m.ctx.Done():
 			return
 		}
 	}
@@ -422,47 +570,214 @@ func (m *Master) fail(err error) {
 	m.doneOnce.Do(func() { close(m.doneCh) })
 }
 
-// tick performs one pass of the master's control loop.
-func (m *Master) tick() error {
-	if err := m.absorbRecords(); err != nil {
-		return err
+// tick performs one pass of the master's control loop. It reports whether
+// the pass made observable progress (absorbed records, applied actions,
+// scheduled or completed tasks); the loop re-runs immediately on progress
+// and blocks on telemetry otherwise.
+func (m *Master) tick() (bool, error) {
+	absorbed, err := m.absorbRecords()
+	if err != nil {
+		return false, err
 	}
 	m.mu.Lock()
 	if m.jobErr != nil {
 		err := m.jobErr
 		m.mu.Unlock()
-		return err
+		return false, err
 	}
 	m.mu.Unlock()
-	m.drainRecoveries()
-	m.drainOverloads()
-	m.speculativePass()
-	if err := m.shufflePass(); err != nil {
-		return err
+	recovered := m.drainRecoveries()
+	applied, err := m.controlPass()
+	if err != nil {
+		return false, err
 	}
-	if err := m.schedulePass(); err != nil {
-		return err
+	scheduled, err := m.schedulePass()
+	if err != nil {
+		return false, err
 	}
-	if err := m.completionPass(); err != nil {
-		return err
+	completed, err := m.completionPass()
+	if err != nil {
+		return false, err
 	}
 	m.failureDetectPass()
-	return nil
+	return absorbed+recovered+applied+scheduled+completed > 0, nil
 }
 
-// absorbRecords folds new ready/running/done records into master state.
-// All three scans are non-consuming and idempotent, which is what lets a
-// recovered master rebuild by rescanning from the start.
-func (m *Master) absorbRecords() error {
+// controlPass runs the adaptive control plane: adopt partition maps
+// published by a predecessor master, build a telemetry snapshot, evaluate
+// the configured policies, and apply the arbitrated actions. It returns
+// the number of state-changing actions applied.
+func (m *Master) controlPass() (int, error) {
+	for _, name := range edgeNames(m.edges) {
+		if err := m.adoptPublishedMaps(m.edges[name]); err != nil {
+			return 0, err
+		}
+	}
+	if len(m.policies) == 0 {
+		return 0, nil
+	}
+	snap := m.hub.Snapshot(m.ctx, m.fillSnapshot)
+	actions := ctrl.Evaluate(snap, m.policies)
+	return m.applyActions(actions)
+}
+
+// fillSnapshot contributes the master's authoritative task and edge state
+// to a telemetry snapshot. Pure forwarding: no decisions are made here.
+func (m *Master) fillSnapshot(snap *ctrl.Snapshot) {
+	snap.FreeSlots = m.control.FreeSlots()
+	snap.TotalSlots = m.control.TotalSlots()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for name, st := range m.tasks {
+		t := &ctrl.TaskTel{
+			Name:        name,
+			Epoch:       st.epoch,
+			Scheduled:   st.scheduled,
+			Finished:    st.finished,
+			Workers:     st.workers,
+			DoneWorkers: len(st.doneWorkers),
+			StartedAt:   st.startedAt,
+			LastClone:   st.lastClone,
+			NoClone:     st.spec.NoClone,
+			MaxClones:   st.spec.MaxClones,
+			HasMerge:    st.spec.requiresMerge(),
+			Inputs:      st.spec.Inputs,
+		}
+		if len(st.spec.Inputs) == 1 {
+			if edge := m.edges[st.spec.Inputs[0]]; edge != nil {
+				t.ConsumesEdge = edge.name
+				t.EdgeSpread = edge.spec.Spread
+			}
+		}
+		snap.Tasks[name] = t
+	}
+	for name, edge := range m.edges {
+		active := true
+		for _, p := range edge.producers {
+			if m.tasks[p].finished {
+				active = false // producers finishing: map is (about to be) final
+				break
+			}
+		}
+		if edge.consumer != "" && m.tasks[edge.consumer].scheduled {
+			active = false
+		}
+		snap.Edges[name] = &ctrl.EdgeTel{
+			Name:         name,
+			PMap:         edge.pmap,
+			Spread:       edge.spec.Spread,
+			Active:       active,
+			Unsplittable: edge.splitTried,
+		}
+	}
+}
+
+// applyActions validates and applies arbitrated control-plane actions
+// against the master's authoritative state, in one place. An action whose
+// precondition no longer holds is dropped (the next snapshot will
+// re-propose if still warranted). It returns the number of state-changing
+// actions applied.
+func (m *Master) applyActions(actions []ctrl.Action) (int, error) {
+	applied := 0
+	for _, a := range actions {
+		switch act := a.(type) {
+		case ctrl.CloneTask:
+			ok, err := m.applyClone(act)
+			if err != nil {
+				return applied, err
+			}
+			if ok {
+				applied++
+			}
+		case ctrl.RejectClone:
+			m.mu.Lock()
+			m.rejects++
+			if act.Speculative {
+				m.speculative++
+			}
+			m.mu.Unlock()
+		case ctrl.SplitPartition:
+			ok, err := m.applySplit(act)
+			if err != nil {
+				return applied, err
+			}
+			if ok {
+				applied++
+			}
+		case ctrl.IsolateKey:
+			ok, err := m.applyIsolate(act)
+			if err != nil {
+				return applied, err
+			}
+			if ok {
+				applied++
+			}
+		case ctrl.MarkUnsplittable:
+			if edge := m.edges[act.Edge]; edge != nil && !edge.splitTried[act.Leaf] {
+				edge.splitTried[act.Leaf] = true
+				applied++
+			}
+		default:
+			// The action vocabulary is closed (see ctrl.Action): a type
+			// the master does not recognize has no apply path and is
+			// dropped. Custom policies extend behavior by composing the
+			// built-in actions, not by inventing new ones.
+		}
+	}
+	return applied, nil
+}
+
+// applyClone applies one CloneTask action: hand out the next worker index
+// and schedule it like any other task ("the master performs task cloning
+// by scheduling a copy of the task on an idle node, as it would any other
+// task", §3.2).
+func (m *Master) applyClone(act ctrl.CloneTask) (bool, error) {
+	m.mu.Lock()
+	st := m.tasks[act.Task]
+	if st == nil || st.epoch != act.Epoch || !st.scheduled || st.finished || st.spec.NoClone {
+		m.mu.Unlock()
+		return false, nil
+	}
+	maxWorkers := m.control.TotalSlots()
+	if st.spec.MaxClones > 0 && st.spec.MaxClones < maxWorkers {
+		maxWorkers = st.spec.MaxClones
+	}
+	if st.workers >= maxWorkers {
+		m.mu.Unlock()
+		return false, nil
+	}
+	w := st.workers
+	st.workers++
+	st.lastClone = time.Now()
+	m.clones++
+	if act.Speculative {
+		m.speculative++
+	}
+	bp := m.blueprintFor(st, w, act.Inputs)
+	m.mu.Unlock()
+	if err := m.wb.pushReady(m.ctx, bp); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// absorbRecords folds new ready/running/done records into master state,
+// returning how many records were seen. All three scans are non-consuming
+// and idempotent, which is what lets a recovered master rebuild by
+// rescanning from the start.
+func (m *Master) absorbRecords() (int, error) {
+	seen := 0
 	if err := drainBlueprints(m.ctx, m.readyScan, func(bp *Blueprint) error {
+		seen++
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		m.applyScheduledEvidence(bp.Spec, bp.Epoch, bp.Worker, bp.Kind == KindMerge)
 		return nil
 	}); err != nil {
-		return err
+		return seen, err
 	}
 	if err := drainEvents(m.ctx, m.runScan, func(e *event) error {
+		seen++
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		m.applyScheduledEvidence(e.Spec, e.Epoch, e.Worker, e.Merge)
@@ -473,13 +788,15 @@ func (m *Master) absorbRecords() error {
 		}
 		return nil
 	}); err != nil {
-		return err
+		return seen, err
 	}
-	return drainEvents(m.ctx, m.doneScan, func(e *event) error {
+	err := drainEvents(m.ctx, m.doneScan, func(e *event) error {
+		seen++
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		return m.applyDone(e)
 	})
+	return seen, err
 }
 
 // applyScheduledEvidence records that worker w of (spec, epoch) was
@@ -538,8 +855,9 @@ func (m *Master) applyDone(e *event) error {
 // sealed ("the master ... schedules new tasks once their dependencies have
 // been completed", §4.1). Pipelined tasks are scheduled as soon as every
 // producer of their input bags is scheduled: their workers stream chunks
-// as they appear and terminate when the bags seal and drain.
-func (m *Master) schedulePass() error {
+// as they appear and terminate when the bags seal and drain. It returns
+// the number of tasks scheduled.
+func (m *Master) schedulePass() (int, error) {
 	m.mu.Lock()
 	var toSchedule []*taskState
 	var leafAssign [][]string
@@ -585,21 +903,24 @@ func (m *Master) schedulePass() error {
 		}
 	}
 	m.mu.Unlock()
+	scheduled := 0
 	for i, st := range toSchedule {
 		leaves := leafAssign[i]
 		if leaves == nil {
 			if err := m.wb.pushReady(m.ctx, m.blueprintFor(st, 0, nil)); err != nil {
-				return err
+				return scheduled, err
 			}
+			scheduled++
 			continue
 		}
 		for w, leaf := range leaves {
 			if err := m.wb.pushReady(m.ctx, m.blueprintFor(st, w, []string{leaf})); err != nil {
-				return err
+				return scheduled, err
 			}
+			scheduled++
 		}
 	}
-	return nil
+	return scheduled, nil
 }
 
 // partitionLeavesFor returns the physical partition bags a task consumes,
@@ -659,8 +980,10 @@ func (m *Master) blueprintFor(st *taskState, w int, inputs []string) *Blueprint 
 
 // completionPass advances tasks whose workers have all finished: injecting
 // merge tasks, adopting sole-worker outputs by rename, sealing output
-// bags, and marking tasks finished.
-func (m *Master) completionPass() error {
+// bags, and marking tasks finished. It returns the number of state
+// transitions made.
+func (m *Master) completionPass() (int, error) {
+	changed := 0
 	for _, name := range m.app.Tasks() {
 		m.mu.Lock()
 		st := m.tasks[name]
@@ -672,31 +995,34 @@ func (m *Master) completionPass() error {
 		if !st.spec.requiresMerge() {
 			m.mu.Unlock()
 			if err := m.finishTask(st); err != nil {
-				return err
+				return changed, err
 			}
+			changed++
 			continue
 		}
 		switch {
 		case st.mergeDone:
 			m.mu.Unlock()
 			if err := m.finishTask(st); err != nil {
-				return err
+				return changed, err
 			}
 			if err := m.gcPartials(st); err != nil {
-				return err
+				return changed, err
 			}
+			changed++
 		case st.workers == 1 && !st.renamed:
 			// A task that was never cloned needs no merge: adopt the
 			// sole partial output as the final output by rename.
 			st.renamed = true
 			m.mu.Unlock()
 			if err := m.store.Rename(m.ctx, partialBag(st.spec.Outputs[0], 0, st.epoch), st.spec.Outputs[0]); err != nil {
-				return err
+				return changed, err
 			}
 			m.mu.Lock()
 			m.renameAdopts++
 			st.mergeDone = true
 			m.mu.Unlock()
+			changed++
 		case st.workers > 1 && !st.mergeSched:
 			st.mergeSched = true
 			partials := st.partials()
@@ -705,7 +1031,7 @@ func (m *Master) completionPass() error {
 			// Seal partials so the merge task's removes terminate.
 			for _, p := range partials {
 				if err := m.store.Seal(m.ctx, p); err != nil {
-					return err
+					return changed, err
 				}
 			}
 			mbp := &Blueprint{
@@ -717,16 +1043,17 @@ func (m *Master) completionPass() error {
 				Outputs: st.spec.Outputs,
 			}
 			if err := m.wb.pushReady(m.ctx, mbp); err != nil {
-				return err
+				return changed, err
 			}
 			m.mu.Lock()
 			m.mergeTasks++
 			m.mu.Unlock()
+			changed++
 		default:
 			m.mu.Unlock()
 		}
 	}
-	return nil
+	return changed, nil
 }
 
 // finishTask marks a task finished and seals any output bag all of whose

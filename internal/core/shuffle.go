@@ -3,18 +3,19 @@ package core
 import (
 	"context"
 	"sort"
-	"time"
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
+	"repro/internal/ctrl"
 	"repro/internal/shuffle"
-	"repro/internal/sketch"
 )
 
 // shuffleEdge is the master's state for one partitioned shuffle bag: the
 // current partition map, a scanner over the edge's published-map bag (so a
 // recovered master replays split history like it replays the work bags),
-// and split bookkeeping.
+// and refinement bookkeeping. The *decision* to refine lives in the
+// control plane's policies (internal/ctrl); this file only tracks state
+// and applies the resulting actions.
 type shuffleEdge struct {
 	name      string
 	spec      *BagSpec
@@ -23,8 +24,6 @@ type shuffleEdge struct {
 	producers []string
 	consumer  string // consuming task name, or ""
 
-	lastCheck  time.Time // last sketch fetch (rate-limits detection RPCs)
-	lastSplit  time.Time
 	splitTried map[string]bool // leaves that cannot be refined further
 }
 
@@ -53,58 +52,14 @@ func newShuffleEdges(app *App, store *bag.Store) map[string]*shuffleEdge {
 	return edges
 }
 
-// shufflePass is the master-side half of the skew-aware shuffle: it adopts
-// partition maps published by a predecessor master, then — for edges still
-// being produced — fetches the merged producer sketches and splits the
-// hottest partition when it exceeds the configured imbalance ratio.
-// Splitting only redirects records not yet written, so it is always safe;
-// it stops once the edge's consumer is scheduled (the worker↔partition
-// assignment is fixed from then on).
-func (m *Master) shufflePass() error {
-	if len(m.edges) == 0 {
-		return nil
+// edgeNames returns the edge map's keys in deterministic order.
+func edgeNames(edges map[string]*shuffleEdge) []string {
+	out := make([]string, 0, len(edges))
+	for n := range edges {
+		out = append(out, n)
 	}
-	names := make([]string, 0, len(m.edges))
-	for n := range m.edges {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		edge := m.edges[name]
-		if err := m.adoptPublishedMaps(edge); err != nil {
-			return err
-		}
-		if m.cfg.DisableSplitting {
-			continue
-		}
-		m.mu.Lock()
-		active := true
-		for _, p := range edge.producers {
-			if m.tasks[p].finished {
-				active = false // producers finishing: map is (about to be) final
-				break
-			}
-		}
-		if edge.consumer != "" && m.tasks[edge.consumer].scheduled {
-			active = false
-		}
-		m.mu.Unlock()
-		// Rate-limit the detection RPC itself, not just the splits: a
-		// fetch makes the storage node decode and merge every producer's
-		// sketch blob, far too much work for every master tick.
-		if !active || time.Since(edge.lastCheck) < m.cfg.SplitInterval {
-			continue
-		}
-		edge.lastCheck = time.Now()
-		stats, err := m.store.FetchSketch(m.ctx, name)
-		if err != nil {
-			continue // detection is advisory; retry next interval
-		}
-		if err := m.decideSplit(edge, stats); err != nil {
-			return err
-		}
-	}
-	return nil
+	sort.Strings(out)
+	return out
 }
 
 // adoptPublishedMaps folds newer published partition-map versions into the
@@ -136,88 +91,95 @@ func drainPartitionMaps(ctx context.Context, sc *bag.Scanner, fn func(*shuffle.P
 	return err
 }
 
-// decideSplit inspects one edge's merged producer statistics and refines
-// the partition map if a physical partition is overloaded. Two refinements
-// exist, mirroring the two skew shapes:
-//
-//   - many medium keys piled onto one partition → re-hash the partition
-//     into SplitFan sub-partitions (Reshape-style);
-//   - a single heavy-hitter key dominating the partition → isolate the key
-//     into a dedicated bag (SharesSkew-style), spread record-wise over
-//     SplitFan bags when the edge permits it.
-func (m *Master) decideSplit(edge *shuffleEdge, stats *sketch.EdgeStats) error {
-	total := stats.Total()
-	if total < uint64(m.cfg.SplitMinRecords) {
-		return nil
+// edgeStillActive reports whether partition-map refinements of the edge
+// can still take effect: producers running, consumer not yet scheduled
+// (the worker↔partition assignment is fixed from then on).
+func (m *Master) edgeStillActive(edge *shuffleEdge) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, p := range edge.producers {
+		if m.tasks[p].finished {
+			return false
+		}
+	}
+	if edge.consumer != "" && m.tasks[edge.consumer].scheduled {
+		return false
+	}
+	return true
+}
+
+// applySplit applies a SplitPartition action: re-hash one hot base
+// partition into Fan sub-partitions. Splitting only redirects records not
+// yet written, so it is always safe.
+func (m *Master) applySplit(act ctrl.SplitPartition) (bool, error) {
+	edge := m.edges[act.Edge]
+	if edge == nil || !m.edgeStillActive(edge) {
+		return false, nil
 	}
 	m.mu.Lock()
 	pmap := edge.pmap
 	m.mu.Unlock()
-	leaves := pmap.Leaves()
-	mean := float64(total) / float64(len(leaves))
-	hottest, hotCount := "", uint64(0)
-	for _, leaf := range leaves {
-		if c := stats.Counts[leaf]; c > hotCount && !edge.splitTried[leaf] {
-			hottest, hotCount = leaf, c
-		}
+	if act.Partition < 0 || act.Partition >= pmap.Base || pmap.Splits[act.Partition] > 1 {
+		return false, nil // stale proposal: partition already refined
 	}
-	if hottest == "" || float64(hotCount) <= m.cfg.SplitImbalance*mean {
-		return nil
+	fan := act.Fan
+	if fan <= 1 {
+		fan = 2
 	}
-
 	next := pmap.Clone()
-	// Prefer isolating a dominant heavy-hitter key: re-hashing cannot help
-	// when one key carries the partition.
-	var top *sketch.HeavyKey
-	for i := range stats.Heavy {
-		hk := &stats.Heavy[i]
-		if next.IsIsolated(shuffle.KeyHash(hk.Key)) {
-			continue
-		}
-		if pmap.LeafForKey(hk.Key) != hottest {
-			continue
-		}
-		if top == nil || hk.Count > top.Count {
-			top = hk
-		}
+	if next.Splits == nil {
+		next.Splits = make(map[int]int)
 	}
-	switch {
-	case top != nil && float64(top.Count) >= m.cfg.IsolateFraction*float64(hotCount):
-		fan := 1
-		if edge.spec.Spread {
-			fan = m.cfg.SplitFan
-		}
-		next.Isolated = append(next.Isolated, shuffle.Isolation{
-			Hash: shuffle.KeyHash(top.Key), Fan: fan,
-		})
-		m.mu.Lock()
-		m.isolations++
-		m.mu.Unlock()
-	default:
-		p, ok := next.BasePartitionIndex(hottest)
-		if !ok {
-			// Sub-partition or isolated bag still hot with no dominant
-			// key to extract: nothing further to refine.
-			edge.splitTried[hottest] = true
-			return nil
-		}
-		if next.Splits == nil {
-			next.Splits = make(map[int]int)
-		}
-		next.Splits[p] = m.cfg.SplitFan
-		m.mu.Lock()
-		m.splits++
-		m.mu.Unlock()
-	}
+	next.Splits[act.Partition] = fan
 	next.Version++
-	// Publish first, adopt second: producers must never observe a map the
-	// master (and a recovered successor) would not also know about.
+	if err := m.publishMap(edge, next); err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	m.splits++
+	m.mu.Unlock()
+	return true, nil
+}
+
+// applyIsolate applies an IsolateKey action: divert one heavy-hitter key
+// into a dedicated bag, spread over Fan bags when the edge permits.
+func (m *Master) applyIsolate(act ctrl.IsolateKey) (bool, error) {
+	edge := m.edges[act.Edge]
+	if edge == nil || !m.edgeStillActive(edge) {
+		return false, nil
+	}
+	m.mu.Lock()
+	pmap := edge.pmap
+	m.mu.Unlock()
+	hash := shuffle.KeyHash(act.Key)
+	if pmap.IsIsolated(hash) {
+		return false, nil // stale proposal: key already isolated
+	}
+	fan := act.Fan
+	if fan < 1 || !edge.spec.Spread {
+		fan = 1
+	}
+	next := pmap.Clone()
+	next.Isolated = append(next.Isolated, shuffle.Isolation{Hash: hash, Fan: fan})
+	next.Version++
+	if err := m.publishMap(edge, next); err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	m.isolations++
+	m.mu.Unlock()
+	return true, nil
+}
+
+// publishMap publishes a refined partition map and adopts it. Publish
+// first, adopt second: producers must never observe a map the master (and
+// a recovered successor) would not also know about.
+func (m *Master) publishMap(edge *shuffleEdge, next *shuffle.PartitionMap) error {
 	if err := m.store.Bag(shuffle.PMapBag(edge.name)).Insert(m.ctx, next.Encode()); err != nil {
 		return err
 	}
 	m.mu.Lock()
 	edge.pmap = next
 	m.mu.Unlock()
-	edge.lastSplit = time.Now()
 	return nil
 }

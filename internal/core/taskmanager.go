@@ -19,6 +19,17 @@ type masterAPI interface {
 	overload(node string, bp *Blueprint, busyFrac float64)
 	// heartbeat reports node liveness and current load.
 	heartbeat(node string, running, slots int)
+	// nudge wakes the master's event-driven control loop after the node
+	// inserted a work-bag record (task started or completed), so the
+	// master re-scans immediately instead of on its fallback timer.
+	nudge()
+	// staleBlueprint reports whether the blueprint's epoch predates the
+	// master's current epoch for the task — a leftover of a failure
+	// recovery that must not run (its inputs were rewound and its outputs
+	// discarded at a newer epoch). Nodes check at claim time and again
+	// after registering the worker, so a recovery sweeping between the
+	// two checks can never leave a stale worker running.
+	staleBlueprint(bp *Blueprint) bool
 }
 
 // ComputeNode is a Hurricane compute node: it runs a task manager that
@@ -227,15 +238,33 @@ func (n *ComputeNode) scheduleLoop() {
 }
 
 func (n *ComputeNode) startWorker(bp *Blueprint) {
+	master := n.getMaster()
+	if master.staleBlueprint(bp) {
+		return // abandoned epoch: recovery already rescheduled the task
+	}
 	// Record the start before executing so the master can find the task
 	// during failure recovery.
 	if err := n.wb.recordStart(n.ctx, bp, n.name); err != nil {
 		return // node is shutting down or storage unreachable
 	}
-	w := runWorker(n.ctx, bp, n.store, n.app)
+	// Register the gated worker before it consumes anything, then
+	// re-validate the epoch: either a concurrent recovery's KillTask sees
+	// the registered worker, or the recovery finished first and the
+	// re-check observes the bumped epoch. Both orders kill the worker
+	// before it touches the rewound bags.
+	w := runWorkerGated(n.ctx, bp, n.store, n.app)
 	n.mu.Lock()
 	n.workers[bp.ID] = w
 	n.mu.Unlock()
+	if master.staleBlueprint(bp) {
+		w.kill()
+		n.mu.Lock()
+		delete(n.workers, bp.ID)
+		n.mu.Unlock()
+		return
+	}
+	w.release()
+	master.nudge()
 
 	n.wg.Add(1)
 	go func() {
@@ -255,6 +284,7 @@ func (n *ComputeNode) startWorker(bp *Blueprint) {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		n.wb.recordDone(ctx, bp, n.name, w.err)
+		n.getMaster().nudge()
 	}()
 }
 

@@ -240,23 +240,45 @@ type worker struct {
 	tc     *TaskCtx
 	cancel context.CancelFunc
 	done   chan struct{}
+	gate   chan struct{}
 
-	killed atomic.Bool
-	err    error
+	released atomic.Bool
+	killed   atomic.Bool
+	err      error
 }
 
 // runWorker executes the blueprint's function and reports the outcome.
 func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *worker {
+	w := runWorkerGated(ctx, bp, store, app)
+	w.release()
+	return w
+}
+
+// runWorkerGated prepares a worker whose goroutine blocks before touching
+// any bag until release (or kill) is called. The gate lets a task manager
+// register the worker — making it visible to the master's KillTask — and
+// re-validate the blueprint's epoch before the worker consumes its first
+// chunk. Without it, a stale-epoch blueprint claimed during failure
+// recovery could start consuming a freshly rewound input bag in the gap
+// between the recovery's kill sweep and the node noticing the staleness.
+func runWorkerGated(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *worker {
 	wctx, cancel := context.WithCancel(ctx)
 	w := &worker{
 		bp:     bp,
 		tc:     newTaskCtx(wctx, bp, store, app),
 		cancel: cancel,
 		done:   make(chan struct{}),
+		gate:   make(chan struct{}),
 	}
 	go func() {
 		defer close(w.done)
 		defer w.tc.close()
+		select {
+		case <-w.gate:
+		case <-wctx.Done():
+			w.err = wctx.Err()
+			return
+		}
 		spec := app.Task(bp.Spec)
 		if spec == nil {
 			w.err = fmt.Errorf("core: unknown task spec %q", bp.Spec)
@@ -277,6 +299,13 @@ func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *
 		w.err = w.tc.finish()
 	}()
 	return w
+}
+
+// release opens the gate: the worker begins executing its task function.
+func (w *worker) release() {
+	if w.released.CompareAndSwap(false, true) {
+		close(w.gate)
+	}
 }
 
 // kill cancels the worker without reporting completion (used during

@@ -1,0 +1,370 @@
+// Package ctrl is Hurricane's adaptive control plane: the telemetry hub
+// that turns worker heartbeats, overload signals, bag depths, and merged
+// edge sketches into one versioned cluster Snapshot, and the pluggable
+// mitigation Policies that turn a Snapshot into declarative Actions.
+//
+// The paper's core claim (§2.2) is that one adaptive mechanism family —
+// fine-grained cloning plus late binding — tames skew at runtime. After the
+// shuffle subsystem landed, Hurricane had four mitigations (reactive
+// cloning, speculative cloning, hot-partition splitting, heavy-key
+// isolation) smeared across the master's poll loop. Following the
+// Reshape/Texera line of work, this package separates them into
+// interchangeable strategies driven by a shared metrics pipeline:
+//
+//   - the Hub ingests telemetry signals as they arrive (event-driven, not
+//     polled), batches them, and builds versioned Snapshots on demand;
+//   - a Policy inspects a Snapshot and proposes Actions;
+//   - Arbitrate resolves conflicts between concurrently proposed Actions
+//     (clone-vs-split on one edge, duplicate clones, slot budgets) in one
+//     place, instead of implicitly by pass ordering;
+//   - the master validates and applies the surviving Actions
+//     transactionally against its authoritative task state.
+//
+// The package deliberately does not import internal/core: policies are
+// pure functions over telemetry, unit-testable against synthetic traces
+// with no cluster behind them.
+package ctrl
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/shuffle"
+	"repro/internal/sketch"
+)
+
+// Config carries the tuning knobs shared by the built-in policies. The
+// master derives it from its MasterConfig, so existing knobs keep working.
+type Config struct {
+	// CloneInterval is the minimum gap between successive clones of one
+	// task (the paper sends clone messages at least 2 seconds apart).
+	CloneInterval time.Duration
+	// StorageBandwidth (bytes/s) estimates the I/O rate used for the T_IO
+	// term of the cloning heuristic (Eq. 2).
+	StorageBandwidth float64
+	// DisableHeuristic accepts every rate-limited clone request without
+	// evaluating Eq. 2 (ablations and tests).
+	DisableHeuristic bool
+	// SpeculativeAfter is the straggler threshold for SpeculativePolicy.
+	SpeculativeAfter time.Duration
+	// SplitImbalance triggers a split when the hottest physical partition
+	// holds more than SplitImbalance × the mean partition load.
+	SplitImbalance float64
+	// SplitMinRecords is the number of records an edge must have observed
+	// before refinement is considered.
+	SplitMinRecords int
+	// SplitFan is the re-hash fan for hot partitions and the spread factor
+	// for isolated heavy-hitter keys on Spread edges.
+	SplitFan int
+	// IsolateFraction: a single key accounting for at least this fraction
+	// of a hot partition's records is isolated instead of re-hashed.
+	IsolateFraction float64
+}
+
+// ---- telemetry (snapshot contents) ----
+
+// NodeTel is the hub's view of one compute node, built from heartbeats.
+type NodeTel struct {
+	LastBeat time.Time
+	Running  int
+	Slots    int
+}
+
+// Overload is one overload signal from a compute node: the node was
+// CPU-bound while running a worker of the named task and asks for a clone.
+type Overload struct {
+	Node   string
+	Task   string
+	Epoch  int
+	Worker int
+	Merge  bool
+	// Inputs are the overloaded worker's input bags (physical partition
+	// bags for partitioned consumers; clones must pull from the same
+	// physical bag, not the logical edge).
+	Inputs []string
+	Busy   float64
+}
+
+// TaskTel is the master's view of one task, forwarded into the snapshot.
+type TaskTel struct {
+	Name        string
+	Epoch       int
+	Scheduled   bool
+	Finished    bool
+	Workers     int
+	DoneWorkers int
+	StartedAt   time.Time
+	LastClone   time.Time
+
+	// Declared shape relevant to cloning decisions.
+	NoClone   bool
+	MaxClones int
+	HasMerge  bool
+	Inputs    []string
+	// ConsumesEdge names the partitioned shuffle edge this task consumes
+	// ("" for ordinary tasks); EdgeSpread mirrors the edge's Spread flag.
+	ConsumesEdge string
+	EdgeSpread   bool
+}
+
+// EdgeTel is the state of one partitioned shuffle edge: the current
+// partition map, whether the edge is still being produced (refinements only
+// help while records are in flight), and — when the hub fetched them this
+// round — the merged producer statistics.
+type EdgeTel struct {
+	Name   string
+	PMap   *shuffle.PartitionMap
+	Spread bool
+	// Active: producers still running and the consumer not yet scheduled,
+	// so partition-map refinements can still take effect.
+	Active bool
+	// Stats is the merged producer sketch for the edge, or nil if the hub
+	// did not (re-)fetch it for this snapshot. Policies must treat nil as
+	// "no fresh evidence", not as "empty edge".
+	Stats *sketch.EdgeStats
+	// Unsplittable lists leaves the master already found unrefinable (hot
+	// sub-partitions with no dominant key to extract).
+	Unsplittable map[string]bool
+}
+
+// BagTel is a sampled depth probe of one bag, used by the Eq. 2 cloning
+// heuristic.
+type BagTel struct {
+	ReadBytes      int64
+	RemainingBytes int64
+}
+
+// Snapshot is one versioned, self-consistent view of the cluster: task
+// state from the master, node/overload telemetry from the hub, and fresh
+// edge statistics where the fetch rate limit allowed. Policies treat it as
+// read-only.
+type Snapshot struct {
+	Version uint64
+	Now     time.Time
+
+	FreeSlots  int
+	TotalSlots int
+
+	Nodes     map[string]NodeTel
+	Tasks     map[string]*TaskTel
+	Edges     map[string]*EdgeTel
+	Overloads []Overload
+
+	// SampleBag lazily probes a bag's depth (read/remaining bytes). It
+	// returns nil when the probe fails or no prober is configured; the
+	// cloning heuristic then declines to clone, exactly like a failed
+	// SampleSlots RPC did. Results are memoized per snapshot.
+	SampleBag func(bag string) *BagTel
+}
+
+// TaskNames returns the snapshot's task names in deterministic order.
+func (s *Snapshot) TaskNames() []string {
+	out := make([]string, 0, len(s.Tasks))
+	for n := range s.Tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeNames returns the snapshot's edge names in deterministic order.
+func (s *Snapshot) EdgeNames() []string {
+	out := make([]string, 0, len(s.Edges))
+	for n := range s.Edges {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ---- actions ----
+
+// An Action is a declarative mitigation decision. Policies emit Actions;
+// Arbitrate prunes conflicting ones; the master validates each survivor
+// against its authoritative state and applies it (or drops it if the state
+// moved underneath — the next snapshot will re-propose).
+//
+// The action vocabulary is CLOSED: CloneTask, RejectClone, SplitPartition,
+// IsolateKey, and MarkUnsplittable are the complete instruction set the
+// master knows how to apply. Policies are the extension point — a custom
+// policy composes these instructions; an action type the master does not
+// recognize is discarded without effect.
+type Action interface {
+	// Kind returns a stable action identifier for logs and tests.
+	Kind() string
+}
+
+// CloneTask schedules one additional worker for a running task ("the
+// master performs task cloning by scheduling a copy of the task on an idle
+// node, as it would any other task", §3.2).
+type CloneTask struct {
+	Task  string
+	Epoch int
+	// Inputs overrides the clone's consumed bags (partitioned consumers:
+	// the overloaded worker's physical partition). Nil means the task's
+	// declared inputs.
+	Inputs []string
+	// Speculative marks clones proposed by SpeculativePolicy (straggler
+	// mitigation without an overload signal, §3.5 future work).
+	Speculative bool
+}
+
+// Kind implements Action.
+func (CloneTask) Kind() string { return "clone" }
+
+// RejectClone records that a clone proposal was evaluated and declined
+// (no idle slot, or Eq. 2 said cloning would not pay off). It exists so
+// the master's observability counters survive the refactor.
+type RejectClone struct {
+	Task        string
+	Speculative bool
+}
+
+// Kind implements Action.
+func (RejectClone) Kind() string { return "reject-clone" }
+
+// SplitPartition re-hashes one hot base partition of a shuffle edge into
+// Fan sub-partitions (Reshape-style: many medium keys piled onto one
+// partition).
+type SplitPartition struct {
+	Edge string
+	// Partition is the base partition index to refine.
+	Partition int
+	Fan       int
+	// Leaf is the physical bag being split (diagnostic; the partition
+	// index is authoritative).
+	Leaf string
+}
+
+// Kind implements Action.
+func (SplitPartition) Kind() string { return "split" }
+
+// IsolateKey diverts one heavy-hitter key of a shuffle edge into a
+// dedicated bag (SharesSkew-style), spread record-wise over Fan bags when
+// the edge permits record-level parallelism.
+type IsolateKey struct {
+	Edge string
+	Key  []byte
+	Fan  int
+}
+
+// Kind implements Action.
+func (IsolateKey) Kind() string { return "isolate" }
+
+// MarkUnsplittable records that a leaf is hot but cannot be refined
+// further (a sub-partition or isolated bag with no dominant key left to
+// extract), so detection stops re-proposing it.
+type MarkUnsplittable struct {
+	Edge string
+	Leaf string
+}
+
+// Kind implements Action.
+func (MarkUnsplittable) Kind() string { return "mark-unsplittable" }
+
+// ---- policies ----
+
+// A Policy is one interchangeable mitigation strategy: it inspects a
+// Snapshot and proposes Actions. Policies must be side-effect free — all
+// state they need is in the Snapshot, and all state they change is carried
+// by the Actions they emit. That makes them replayable against synthetic
+// telemetry traces and composable in any order (Arbitrate, not emission
+// order, resolves conflicts).
+type Policy interface {
+	// Name identifies the policy in logs and stats.
+	Name() string
+	// Evaluate proposes mitigation actions for one snapshot.
+	Evaluate(snap *Snapshot) []Action
+}
+
+// EdgeStatsConsumer is implemented by policies that read EdgeTel.Stats.
+// The telemetry hub only pays for storage-tier sketch fetches when at
+// least one installed policy declares the need.
+type EdgeStatsConsumer interface {
+	WantsEdgeStats() bool
+}
+
+// Arbitrate resolves conflicts among the actions proposed by all policies
+// for one snapshot, in one place:
+//
+//   - at most one clone per task per round (duplicate overload signals and
+//     clone/speculative overlap collapse to the first proposal);
+//   - total clones are capped by the snapshot's free slots (excess
+//     proposals become RejectClone, preserving the reject counters);
+//   - at most one partition-map refinement per edge per round, preferring
+//     IsolateKey over SplitPartition (re-hashing cannot help when a single
+//     key carries the partition) over MarkUnsplittable;
+//   - a clone of a task that consumes an edge being refined this round is
+//     dropped: the refinement is the preferred skew defense, and the
+//     clone's evidence predates the new map (a later overload signal will
+//     re-propose it if the split alone does not help).
+func Arbitrate(snap *Snapshot, proposed []Action) []Action {
+	refined := make(map[string]Action) // edge -> winning refinement
+	for _, a := range proposed {
+		switch act := a.(type) {
+		case IsolateKey:
+			refined[act.Edge] = act
+		case SplitPartition:
+			if _, ok := refined[act.Edge].(IsolateKey); !ok {
+				refined[act.Edge] = act
+			}
+		case MarkUnsplittable:
+			if refined[act.Edge] == nil {
+				refined[act.Edge] = act
+			}
+		}
+	}
+
+	out := make([]Action, 0, len(proposed))
+	emittedRefinement := make(map[string]bool)
+	clonedTask := make(map[string]bool)
+	budget := snap.FreeSlots
+	for _, a := range proposed {
+		switch act := a.(type) {
+		case CloneTask:
+			if clonedTask[act.Task] {
+				continue
+			}
+			if t := snap.Tasks[act.Task]; t != nil && t.ConsumesEdge != "" {
+				if _, conflict := refined[t.ConsumesEdge]; conflict {
+					if _, marked := refined[t.ConsumesEdge].(MarkUnsplittable); !marked {
+						continue // refinement wins the edge this round
+					}
+				}
+			}
+			clonedTask[act.Task] = true
+			if budget <= 0 {
+				out = append(out, RejectClone{Task: act.Task, Speculative: act.Speculative})
+				continue
+			}
+			budget--
+			out = append(out, act)
+		case RejectClone:
+			out = append(out, act)
+		case IsolateKey:
+			if !emittedRefinement[act.Edge] {
+				if winner, ok := refined[act.Edge].(IsolateKey); ok {
+					emittedRefinement[act.Edge] = true
+					out = append(out, winner)
+				}
+			}
+		case SplitPartition:
+			if !emittedRefinement[act.Edge] {
+				if winner, ok := refined[act.Edge].(SplitPartition); ok {
+					emittedRefinement[act.Edge] = true
+					out = append(out, winner)
+				}
+			}
+		case MarkUnsplittable:
+			if !emittedRefinement[act.Edge] {
+				if winner, ok := refined[act.Edge].(MarkUnsplittable); ok {
+					emittedRefinement[act.Edge] = true
+					out = append(out, winner)
+				}
+			}
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package ctrl
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// maxPendingOverloads bounds the hub's overload buffer. Signals beyond it
+// are dropped: overload signals are advisory and re-sent by the nodes'
+// monitors every interval.
+const maxPendingOverloads = 1024
+
+// FetchStatsFunc fetches the merged producer statistics for one shuffle
+// edge (in the engine: a storage-tier sketch fetch RPC).
+type FetchStatsFunc func(ctx context.Context, edge string) (*sketch.EdgeStats, error)
+
+// SampleBagFunc probes one bag's depth (in the engine: a sampled stats
+// RPC over the bag's slots).
+type SampleBagFunc func(ctx context.Context, bag string) (*BagTel, error)
+
+// HubConfig wires a Hub to its telemetry sources.
+type HubConfig struct {
+	// FetchStats fetches merged edge sketches; nil disables edge
+	// statistics entirely (no refinement policy will see fresh stats).
+	FetchStats FetchStatsFunc
+	// FetchInterval rate-limits sketch fetches per edge: a fetch makes the
+	// storage node decode and merge every producer's sketch blob, far too
+	// much work to repeat on every snapshot.
+	FetchInterval time.Duration
+	// SampleBag probes bag depths for the cloning heuristic; nil makes the
+	// heuristic decline every clone (tests install synthetic probes).
+	SampleBag SampleBagFunc
+}
+
+// Hub is the event-driven telemetry hub: compute nodes and the master
+// push signals into it as they happen (heartbeats, overload signals,
+// work-bag nudges), and the master's control loop blocks on Wake instead
+// of polling on a fixed tick. When the loop wakes, Snapshot drains the
+// batched signals into one versioned view and augments it with
+// rate-limited sketch fetches and lazy bag-depth probes.
+type Hub struct {
+	cfg HubConfig
+
+	wake chan struct{}
+
+	mu        sync.Mutex
+	version   uint64
+	nodes     map[string]NodeTel
+	overloads []Overload
+	dropped   int // overload signals dropped under pressure
+	lastFetch map[string]time.Time
+}
+
+// NewHub creates a hub. The zero HubConfig is valid (no sketch fetches,
+// no bag probes): signals still batch and Wake still fires.
+func NewHub(cfg HubConfig) *Hub {
+	return &Hub{
+		cfg:       cfg,
+		wake:      make(chan struct{}, 1),
+		nodes:     make(map[string]NodeTel),
+		lastFetch: make(map[string]time.Time),
+	}
+}
+
+// Wake returns the hub's wake channel: it receives (coalesced) whenever a
+// signal arrives. The master's loop selects on it alongside its coarse
+// fallback timer.
+func (h *Hub) Wake() <-chan struct{} { return h.wake }
+
+// signal wakes the consumer without blocking; concurrent signals coalesce.
+func (h *Hub) signal() {
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Nudge wakes the control loop without carrying data — compute nodes call
+// it after inserting work-bag records (task started / completed) so the
+// master re-scans immediately instead of on its next poll.
+func (h *Hub) Nudge() { h.signal() }
+
+// Heartbeat ingests one node heartbeat.
+func (h *Hub) Heartbeat(node string, running, slots int) {
+	h.mu.Lock()
+	h.nodes[node] = NodeTel{LastBeat: time.Now(), Running: running, Slots: slots}
+	h.mu.Unlock()
+	h.signal()
+}
+
+// OverloadSignal ingests one overload signal. Signals beyond the buffer
+// cap are dropped (they are advisory and periodically re-sent).
+func (h *Hub) OverloadSignal(o Overload) {
+	h.mu.Lock()
+	if len(h.overloads) < maxPendingOverloads {
+		h.overloads = append(h.overloads, o)
+	} else {
+		h.dropped++
+	}
+	h.mu.Unlock()
+	h.signal()
+}
+
+// Dropped reports how many overload signals were dropped under pressure.
+func (h *Hub) Dropped() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// Snapshot drains the batched signals into a new versioned Snapshot. The
+// fill callback lets the owner (the master) contribute its authoritative
+// task and edge state; afterwards the hub fetches merged sketches for
+// active edges whose per-edge rate limit has elapsed and installs the
+// memoized bag-depth prober.
+func (h *Hub) Snapshot(ctx context.Context, fill func(*Snapshot)) *Snapshot {
+	h.mu.Lock()
+	h.version++
+	snap := &Snapshot{
+		Version:   h.version,
+		Now:       time.Now(),
+		Nodes:     make(map[string]NodeTel, len(h.nodes)),
+		Tasks:     make(map[string]*TaskTel),
+		Edges:     make(map[string]*EdgeTel),
+		Overloads: h.overloads,
+	}
+	h.overloads = nil
+	for n, tel := range h.nodes {
+		snap.Nodes[n] = tel
+	}
+	h.mu.Unlock()
+
+	if fill != nil {
+		fill(snap)
+	}
+
+	if h.cfg.FetchStats != nil {
+		for _, name := range snap.EdgeNames() {
+			e := snap.Edges[name]
+			if !e.Active || e.Stats != nil {
+				continue
+			}
+			h.mu.Lock()
+			last := h.lastFetch[name]
+			due := snap.Now.Sub(last) >= h.cfg.FetchInterval
+			if due {
+				h.lastFetch[name] = snap.Now
+			}
+			h.mu.Unlock()
+			if !due {
+				continue
+			}
+			stats, err := h.cfg.FetchStats(ctx, name)
+			if err != nil {
+				continue // detection is advisory; retry next interval
+			}
+			e.Stats = stats
+		}
+	}
+
+	if snap.SampleBag == nil && h.cfg.SampleBag != nil {
+		memo := make(map[string]*BagTel)
+		snap.SampleBag = func(bag string) *BagTel {
+			if tel, ok := memo[bag]; ok {
+				return tel
+			}
+			tel, err := h.cfg.SampleBag(ctx, bag)
+			if err != nil {
+				tel = nil
+			}
+			memo[bag] = tel
+			return tel
+		}
+	}
+	return snap
+}
+
+// Evaluate runs the policy chain over a snapshot and arbitrates the
+// proposals. It is a convenience for the common "snapshot → propose →
+// arbitrate" sequence; callers needing the raw proposals run the policies
+// themselves.
+func Evaluate(snap *Snapshot, policies []Policy) []Action {
+	var proposed []Action
+	for _, p := range policies {
+		proposed = append(proposed, p.Evaluate(snap)...)
+	}
+	return Arbitrate(snap, proposed)
+}

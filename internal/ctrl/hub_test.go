@@ -1,0 +1,149 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/sketch"
+)
+
+// TestHubBatchesAndVersions: signals batch between snapshots, snapshots
+// are versioned, and the overload buffer drains exactly once.
+func TestHubBatchesAndVersions(t *testing.T) {
+	h := NewHub(HubConfig{})
+	h.Heartbeat("node-0", 1, 2)
+	h.OverloadSignal(Overload{Task: "map", Busy: 0.9})
+	h.OverloadSignal(Overload{Task: "map", Busy: 0.95})
+
+	select {
+	case <-h.Wake():
+	default:
+		t.Fatal("signals did not wake the hub")
+	}
+
+	snap := h.Snapshot(context.Background(), nil)
+	if snap.Version != 1 {
+		t.Fatalf("first snapshot version %d", snap.Version)
+	}
+	if len(snap.Overloads) != 2 {
+		t.Fatalf("want 2 batched overloads, got %d", len(snap.Overloads))
+	}
+	if tel, ok := snap.Nodes["node-0"]; !ok || tel.Slots != 2 {
+		t.Fatalf("heartbeat not ingested: %+v", snap.Nodes)
+	}
+
+	snap2 := h.Snapshot(context.Background(), nil)
+	if snap2.Version != 2 {
+		t.Fatalf("second snapshot version %d", snap2.Version)
+	}
+	if len(snap2.Overloads) != 0 {
+		t.Fatal("overloads delivered twice")
+	}
+}
+
+// TestHubOverloadBackpressure: the buffer caps and drops instead of
+// growing without bound.
+func TestHubOverloadBackpressure(t *testing.T) {
+	h := NewHub(HubConfig{})
+	for i := 0; i < maxPendingOverloads+10; i++ {
+		h.OverloadSignal(Overload{Task: "map"})
+	}
+	if got := h.Dropped(); got != 10 {
+		t.Fatalf("dropped %d, want 10", got)
+	}
+	snap := h.Snapshot(context.Background(), nil)
+	if len(snap.Overloads) != maxPendingOverloads {
+		t.Fatalf("buffered %d, want cap %d", len(snap.Overloads), maxPendingOverloads)
+	}
+}
+
+// TestHubFetchRateLimit: edge sketch fetches are rate-limited per edge
+// and only issued for active edges.
+func TestHubFetchRateLimit(t *testing.T) {
+	fetches := 0
+	h := NewHub(HubConfig{
+		FetchInterval: time.Hour, // one fetch, then rate-limited
+		FetchStats: func(ctx context.Context, edge string) (*sketch.EdgeStats, error) {
+			fetches++
+			s := sketch.NewEdgeStats()
+			s.Counts[edge+".p0"] = 42
+			return s, nil
+		},
+	})
+	fill := func(active bool) func(*Snapshot) {
+		return func(snap *Snapshot) {
+			snap.Edges["shuf"] = &EdgeTel{Name: "shuf", Active: active}
+			snap.Edges["idle"] = &EdgeTel{Name: "idle", Active: false}
+		}
+	}
+
+	snap := h.Snapshot(context.Background(), fill(true))
+	if fetches != 1 {
+		t.Fatalf("want 1 fetch (active edge only), got %d", fetches)
+	}
+	if snap.Edges["shuf"].Stats == nil || snap.Edges["shuf"].Stats.Counts["shuf.p0"] != 42 {
+		t.Fatal("fetched stats not installed on the edge")
+	}
+	if snap.Edges["idle"].Stats != nil {
+		t.Fatal("inactive edge was fetched")
+	}
+
+	snap = h.Snapshot(context.Background(), fill(true))
+	if fetches != 1 {
+		t.Fatalf("rate limit not applied: %d fetches", fetches)
+	}
+	if snap.Edges["shuf"].Stats != nil {
+		t.Fatal("stale round must carry nil stats (no fresh evidence)")
+	}
+}
+
+// TestHubSampleMemoized: bag probes are memoized per snapshot, including
+// failures.
+func TestHubSampleMemoized(t *testing.T) {
+	probes := 0
+	h := NewHub(HubConfig{
+		SampleBag: func(ctx context.Context, bag string) (*BagTel, error) {
+			probes++
+			if bag == "broken" {
+				return nil, fmt.Errorf("probe failed")
+			}
+			return &BagTel{ReadBytes: 1, RemainingBytes: 2}, nil
+		},
+	})
+	snap := h.Snapshot(context.Background(), nil)
+	for i := 0; i < 3; i++ {
+		if tel := snap.SampleBag("in"); tel == nil || tel.RemainingBytes != 2 {
+			t.Fatalf("probe %d: %+v", i, tel)
+		}
+		if tel := snap.SampleBag("broken"); tel != nil {
+			t.Fatalf("failed probe returned %+v", tel)
+		}
+	}
+	if probes != 2 {
+		t.Fatalf("probes not memoized: %d calls", probes)
+	}
+}
+
+// TestHubWakeCoalesces: many signals produce at most one pending wake;
+// the loop never queues redundant iterations.
+func TestHubWakeCoalesces(t *testing.T) {
+	h := NewHub(HubConfig{})
+	for i := 0; i < 100; i++ {
+		h.Nudge()
+	}
+	n := 0
+	for {
+		select {
+		case <-h.Wake():
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n != 1 {
+		t.Fatalf("want exactly 1 coalesced wake, got %d", n)
+	}
+}

@@ -1,0 +1,284 @@
+package ctrl
+
+import (
+	"repro/internal/shuffle"
+	"repro/internal/sketch"
+)
+
+// ---- cloning ----
+
+// ClonePolicy is the paper's reactive mitigation (§4.2): each overload
+// signal from a compute node is a clone request, gated by per-task rate
+// limiting, the worker-count caps, and the Eq. 2 heuristic
+// T > (k+1)·T_IO evaluated against live bag depth telemetry.
+type ClonePolicy struct {
+	Cfg Config
+}
+
+// Name implements Policy.
+func (*ClonePolicy) Name() string { return "clone" }
+
+// Evaluate implements Policy.
+func (p *ClonePolicy) Evaluate(snap *Snapshot) []Action {
+	var out []Action
+	for _, o := range snap.Overloads {
+		t := snap.Tasks[o.Task]
+		if t == nil || o.Epoch != t.Epoch || o.Merge ||
+			!t.Scheduled || t.Finished || t.NoClone {
+			continue
+		}
+		if a, ok := proposeClone(&p.Cfg, snap, t, o.Inputs, false); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SpeculativePolicy is the paper's stated future work (§3.5): any task
+// still running SpeculativeAfter past its start is treated as if it had
+// signalled overload, mitigating stragglers whose slowness is not
+// CPU-bound (e.g. a degraded machine). The clone steals the remaining
+// chunks through ordinary late binding, so no work is redone.
+type SpeculativePolicy struct {
+	Cfg Config
+}
+
+// Name implements Policy.
+func (*SpeculativePolicy) Name() string { return "speculative" }
+
+// Evaluate implements Policy.
+func (p *SpeculativePolicy) Evaluate(snap *Snapshot) []Action {
+	var out []Action
+	for _, name := range snap.TaskNames() {
+		t := snap.Tasks[name]
+		if !t.Scheduled || t.Finished || t.Workers == 0 ||
+			t.DoneWorkers >= t.Workers || t.NoClone {
+			continue
+		}
+		if snap.Now.Sub(t.StartedAt) < p.Cfg.SpeculativeAfter {
+			continue
+		}
+		if snap.Now.Sub(t.LastClone) < p.Cfg.CloneInterval {
+			continue
+		}
+		// Speculative requests carry no worker blueprint, so they cannot
+		// name the physical partition a clone of a partitioned consumer
+		// would have to pull from.
+		if t.ConsumesEdge != "" {
+			continue
+		}
+		if a, ok := proposeClone(&p.Cfg, snap, t, nil, true); ok {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// proposeClone applies the gates shared by reactive and speculative
+// cloning and returns the resulting proposal: a CloneTask when every gate
+// passes, a RejectClone when an idle slot is missing or Eq. 2 declines
+// (preserving the master's reject counters), or nothing when a cheap gate
+// (worker caps, rate limit, partitioned-input rules) filters the request.
+func proposeClone(cfg *Config, snap *Snapshot, t *TaskTel, workerInputs []string, speculative bool) (Action, bool) {
+	if t.DoneWorkers >= t.Workers && t.Workers > 0 {
+		return nil, false // task is effectively over
+	}
+	maxWorkers := snap.TotalSlots
+	if t.MaxClones > 0 && t.MaxClones < maxWorkers {
+		maxWorkers = t.MaxClones
+	}
+	if t.Workers >= maxWorkers {
+		return nil, false
+	}
+	if snap.Now.Sub(t.LastClone) < cfg.CloneInterval {
+		return nil, false
+	}
+	// For a consumer of a partitioned shuffle bag, a clone must pull from
+	// the overloaded worker's physical partition, not the logical bag —
+	// and chunk-level sharing of one partition splits a key's records
+	// across workers, so it is only sound when the edge declared
+	// record-level parallelism safe (Spread) or the task reconciles
+	// partials through a merge procedure. Otherwise splitting is the skew
+	// defense.
+	var inputs []string
+	if t.ConsumesEdge != "" {
+		if len(workerInputs) == 0 || (!t.EdgeSpread && !t.HasMerge) {
+			return nil, false
+		}
+		inputs = workerInputs
+	}
+	if snap.FreeSlots <= 0 {
+		return RejectClone{Task: t.Name, Speculative: speculative}, true
+	}
+	if !cfg.DisableHeuristic {
+		input := ""
+		if len(t.Inputs) > 0 {
+			input = t.Inputs[0]
+		}
+		if inputs != nil {
+			input = inputs[0]
+		}
+		if !cloneWorthwhile(cfg, snap, input, t) {
+			return RejectClone{Task: t.Name, Speculative: speculative}, true
+		}
+	}
+	return CloneTask{Task: t.Name, Epoch: t.Epoch, Inputs: inputs, Speculative: speculative}, true
+}
+
+// cloneWorthwhile evaluates Eq. 2 against sampled bag depth telemetry.
+//
+//	T    — remaining task time, estimated from the input bag's remaining
+//	       bytes and the task's observed aggregate drain rate;
+//	T_IO — extra I/O the clone causes: it will read ≈ R/(k+1) of the
+//	       remaining input and write a comparable partial output that must
+//	       then be merged, so T_IO ≈ 2·(R/(k+1))/BW.
+//
+// Clone iff T > (k+1)·T_IO.
+func cloneWorthwhile(cfg *Config, snap *Snapshot, input string, t *TaskTel) bool {
+	if snap.SampleBag == nil {
+		return false
+	}
+	stats := snap.SampleBag(input)
+	if stats == nil {
+		return false
+	}
+	remaining := float64(stats.RemainingBytes)
+	if remaining <= 0 {
+		return false // nothing left to split
+	}
+	elapsed := snap.Now.Sub(t.StartedAt).Seconds()
+	if elapsed <= 0 {
+		return true
+	}
+	rate := float64(stats.ReadBytes) / elapsed
+	if rate <= 0 {
+		// No observed progress yet: assume cloning helps.
+		return true
+	}
+	k := float64(t.Workers)
+	tt := remaining / rate
+	tio := 2 * (remaining / (k + 1)) / cfg.StorageBandwidth
+	return tt > (k+1)*tio
+}
+
+// ---- shuffle-edge refinement ----
+
+// hotLeaf finds the hottest refinable leaf of an edge and reports whether
+// it crosses the imbalance threshold. Both refinement policies share this
+// detection so their proposals name the same partition and Arbitrate can
+// resolve the preference.
+func hotLeaf(cfg *Config, e *EdgeTel) (leaf string, count uint64, ok bool) {
+	if !e.Active || e.Stats == nil || e.PMap == nil {
+		return "", 0, false
+	}
+	total := e.Stats.Total()
+	if total < uint64(cfg.SplitMinRecords) {
+		return "", 0, false
+	}
+	leaves := e.PMap.Leaves()
+	mean := float64(total) / float64(len(leaves))
+	for _, l := range leaves {
+		if c := e.Stats.Counts[l]; c > count && !e.Unsplittable[l] {
+			leaf, count = l, c
+		}
+	}
+	if leaf == "" || float64(count) <= cfg.SplitImbalance*mean {
+		return "", 0, false
+	}
+	return leaf, count, true
+}
+
+// dominantKey returns the heaviest non-isolated heavy-hitter candidate
+// routed to the given leaf, if one accounts for at least IsolateFraction
+// of the leaf's records.
+func dominantKey(cfg *Config, e *EdgeTel, leaf string, leafCount uint64) *sketch.HeavyKey {
+	var top *sketch.HeavyKey
+	for i := range e.Stats.Heavy {
+		hk := &e.Stats.Heavy[i]
+		if e.PMap.IsIsolated(shuffle.KeyHash(hk.Key)) {
+			continue
+		}
+		if e.PMap.LeafForKey(hk.Key) != leaf {
+			continue
+		}
+		if top == nil || hk.Count > top.Count {
+			top = hk
+		}
+	}
+	if top == nil || float64(top.Count) < cfg.IsolateFraction*float64(leafCount) {
+		return nil
+	}
+	return top
+}
+
+// SplitPartitionPolicy re-hashes a hot base partition into SplitFan
+// sub-partitions when many medium keys pile onto it (Reshape-style).
+// Splitting only redirects records not yet written, so it is always safe;
+// the edge must still be active (producers running, consumer unscheduled).
+type SplitPartitionPolicy struct {
+	Cfg Config
+}
+
+// Name implements Policy.
+func (*SplitPartitionPolicy) Name() string { return "split-partition" }
+
+// WantsEdgeStats implements EdgeStatsConsumer.
+func (*SplitPartitionPolicy) WantsEdgeStats() bool { return true }
+
+// Evaluate implements Policy.
+func (p *SplitPartitionPolicy) Evaluate(snap *Snapshot) []Action {
+	var out []Action
+	for _, name := range snap.EdgeNames() {
+		e := snap.Edges[name]
+		leaf, _, ok := hotLeaf(&p.Cfg, e)
+		if !ok {
+			continue
+		}
+		part, isBase := e.PMap.BasePartitionIndex(leaf)
+		if !isBase {
+			// A sub-partition or isolated bag still hot: re-hashing cannot
+			// refine it further. If IsolateKeyPolicy has a dominant key to
+			// extract, its proposal wins in arbitration; otherwise the
+			// master records the leaf as unrefinable.
+			out = append(out, MarkUnsplittable{Edge: name, Leaf: leaf})
+			continue
+		}
+		out = append(out, SplitPartition{Edge: name, Partition: part, Fan: p.Cfg.SplitFan, Leaf: leaf})
+	}
+	return out
+}
+
+// IsolateKeyPolicy diverts a dominant heavy-hitter key into a dedicated
+// bag when a single key carries a hot partition (SharesSkew-style),
+// spreading it record-wise over SplitFan bags when the edge permits.
+type IsolateKeyPolicy struct {
+	Cfg Config
+}
+
+// Name implements Policy.
+func (*IsolateKeyPolicy) Name() string { return "isolate-key" }
+
+// WantsEdgeStats implements EdgeStatsConsumer.
+func (*IsolateKeyPolicy) WantsEdgeStats() bool { return true }
+
+// Evaluate implements Policy.
+func (p *IsolateKeyPolicy) Evaluate(snap *Snapshot) []Action {
+	var out []Action
+	for _, name := range snap.EdgeNames() {
+		e := snap.Edges[name]
+		leaf, count, ok := hotLeaf(&p.Cfg, e)
+		if !ok {
+			continue
+		}
+		top := dominantKey(&p.Cfg, e, leaf, count)
+		if top == nil {
+			continue
+		}
+		fan := 1
+		if e.Spread {
+			fan = p.Cfg.SplitFan
+		}
+		out = append(out, IsolateKey{Edge: name, Key: top.Key, Fan: fan})
+	}
+	return out
+}
