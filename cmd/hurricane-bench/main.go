@@ -15,6 +15,10 @@
 // count against ground truth, and prints the master's mitigation stats —
 // the quick live-cluster sanity check that used to live in a separate
 // debug harness.
+//
+// "sched" runs the multi-job scheduler co-run benchmark on the real
+// engine — a skewed and a uniform groupby sharing one cluster, with and
+// without fair-share slot leasing — and writes BENCH_sched.json.
 package main
 
 import (
@@ -83,6 +87,8 @@ func run(name string) error {
 		fmt.Print(experiments.FormatUtilization(experiments.BatchUtilization(32), 32))
 	case "engine-clicklog":
 		return engineClickLog()
+	case "sched":
+		return schedBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

@@ -13,6 +13,17 @@
 // shuffle groupby (whose partitioned bags, producer sketches, and
 // hot-partition splits then run against the remote storage tier over
 // TCP); results are verified against an in-process oracle.
+//
+// Scheduler service mode: with -serve the process runs the multi-job
+// scheduler against the remote storage tier and executes every job
+// submitted through the "sched!submit" control bag — concurrently, with
+// per-job bag namespaces and fair-share slot leasing. Submissions travel
+// over the same TCP storage transport as all other data; any process
+// that can reach the storage nodes can submit:
+//
+//	hurricane-run -storage ... -serve &
+//	hurricane-run -storage ... -submit -name j1 -job groupby -records 200000 -skew 1.3
+//	hurricane-run -storage ... -submit -name j2 -job sqsum -records 100000 -weight 2
 package main
 
 import (
@@ -20,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"sort"
 	"strings"
 	"time"
@@ -33,12 +46,16 @@ import (
 
 func main() {
 	storageFlag := flag.String("storage", "", "comma-separated name=addr storage nodes")
-	job := flag.String("job", "clicklog", "job to run: clicklog | groupby")
+	job := flag.String("job", "clicklog", "job to run: clicklog | groupby (with -submit: sqsum | groupby)")
 	records := flag.Int("records", 200000, "records to generate")
 	skew := flag.Float64("skew", 1.0, "zipf skew s")
 	computes := flag.Int("computes", 4, "compute nodes in this process")
 	slots := flag.Int("slots", 2, "worker slots per compute node")
 	parts := flag.Int("parts", 4, "groupby: base shuffle partitions")
+	serveMode := flag.Bool("serve", false, "run the multi-job scheduler service: execute jobs submitted via the sched!submit bag")
+	submitMode := flag.Bool("submit", false, "submit a job to a -serve process and wait for its result")
+	name := flag.String("name", "", "-submit: unique job name (also its bag namespace)")
+	weight := flag.Int("weight", 0, "-submit: fair-share weight (0 = default)")
 	flag.Parse()
 
 	addrs := map[string]string{}
@@ -74,6 +91,29 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
 	defer cancel()
+
+	if *serveMode {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if err := serve(ctx, store, *computes, *slots); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *submitMode {
+		if *name == "" {
+			log.Fatal("-submit requires -name")
+		}
+		req := jobRequest{Name: *name, Job: *job, Records: *records,
+			Skew: *skew, Parts: *parts, Weight: *weight}
+		if req.Job == "clicklog" {
+			req.Job = "sqsum" // served kinds are sqsum and groupby
+		}
+		if err := submitAndWait(ctx, store, req); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	switch *job {
 	case "groupby":

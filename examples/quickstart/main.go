@@ -1,9 +1,14 @@
-// Quickstart: the smallest complete Hurricane application.
+// Quickstart: the smallest complete Hurricane application — and the
+// multi-job scheduler in one screen.
 //
 // It builds a two-stage dataflow — square a stream of integers, then sum
-// the squares — on an embedded cluster of 4 storage and 4 compute nodes.
-// The sum stage declares a merge procedure, so Hurricane is free to clone
-// it under load and reconcile the clones' partial sums.
+// the squares — and submits TWO instances of it concurrently to one
+// embedded cluster of 4 storage and 4 compute nodes. Each job gets its
+// own bag namespace (handle.Bag maps declared names to physical ones)
+// and its own application master; worker slots are shared under
+// fair-share leasing. The sum stage declares a merge procedure, so
+// Hurricane is free to clone it under load and reconcile the clones'
+// partial sums.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -17,21 +22,8 @@ import (
 	"repro/hurricane"
 )
 
-func main() {
-	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
-	defer cancel()
-
-	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
-		StorageNodes: 4,
-		ComputeNodes: 4,
-		SlotsPerNode: 2,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer cluster.Shutdown()
-
-	// The application graph: nums -> square -> squares -> sum -> total.
+// squareSumApp declares the graph: nums -> square -> squares -> sum -> total.
+func squareSumApp() *hurricane.App {
 	app := hurricane.NewApp("quickstart")
 	app.SourceBag("nums").Bag("squares").Bag("total")
 	app.AddTask(hurricane.TaskSpec{
@@ -61,41 +53,71 @@ func main() {
 			return hurricane.NewWriter(tc, 0, hurricane.Int64Of).Write(total)
 		},
 	})
+	return app
+}
 
-	// Load and seal the input.
-	const n = 100000
-	nums := make([]int64, n)
-	for i := range nums {
-		nums[i] = int64(i)
-	}
-	store := cluster.Store()
-	if err := hurricane.Load(ctx, store, "nums", hurricane.Int64Of, nums); err != nil {
-		log.Fatal(err)
-	}
-	if err := hurricane.Seal(ctx, store, "nums"); err != nil {
-		log.Fatal(err)
-	}
+func main() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	// Run and collect.
-	start := time.Now()
-	if err := cluster.Run(ctx, app); err != nil {
-		log.Fatal(err)
-	}
-	totals, err := hurricane.Collect(ctx, store, "total", hurricane.Int64Of)
+	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
+		StorageNodes: 4,
+		ComputeNodes: 4,
+		SlotsPerNode: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	var got int64
-	for _, v := range totals {
-		got += v
+	defer cluster.Shutdown()
+	store := cluster.Store()
+
+	// Submit two jobs of the same graph; namespacing keeps their bags
+	// apart, the scheduler shares the compute pool between them.
+	sizes := map[string]int{"evens": 100000, "odds": 80000}
+	jobs := map[string]*hurricane.JobHandle{}
+	start := time.Now()
+	for _, name := range []string{"evens", "odds"} {
+		h, err := cluster.SubmitJob(ctx, squareSumApp(), hurricane.JobConfig{Name: name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs[name] = h
+		// Load and seal this job's input under its namespaced name.
+		n := sizes[name]
+		nums := make([]int64, n)
+		for i := range nums {
+			nums[i] = int64(i)
+		}
+		if err := hurricane.Load(ctx, store, h.Bag("nums"), hurricane.Int64Of, nums); err != nil {
+			log.Fatal(err)
+		}
+		if err := hurricane.Seal(ctx, store, h.Bag("nums")); err != nil {
+			log.Fatal(err)
+		}
 	}
-	var want int64
-	for _, v := range nums {
-		want += v * v
+
+	// Wait for both and verify.
+	for name, h := range jobs {
+		if err := h.Wait(ctx); err != nil {
+			log.Fatalf("job %s: %v", name, err)
+		}
+		totals, err := hurricane.Collect(ctx, store, h.Bag("total"), hurricane.Int64Of)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var got, want int64
+		for _, v := range totals {
+			got += v
+		}
+		for i := 0; i < sizes[name]; i++ {
+			want += int64(i) * int64(i)
+		}
+		fmt.Printf("job %s: sum of squares 0..%d = %d (expected %d)\n",
+			name, sizes[name]-1, got, want)
+		fmt.Printf("job %s stats: %+v\n", name, h.Stats())
+		if got != want {
+			log.Fatal("WRONG RESULT")
+		}
 	}
-	fmt.Printf("sum of squares 0..%d = %d (expected %d) in %v\n", n-1, got, want, time.Since(start))
-	fmt.Printf("master stats: %+v\n", cluster.Master().Stats())
-	if got != want {
-		log.Fatal("WRONG RESULT")
-	}
+	fmt.Printf("two concurrent jobs on one cluster in %v\n", time.Since(start))
 }

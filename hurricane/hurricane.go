@@ -40,6 +40,7 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/core"
 	"repro/internal/ctrl"
+	"repro/internal/sched"
 )
 
 // Re-exported engine types. The core engine lives in internal/core; these
@@ -84,6 +85,51 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cf
 
 // NewApp returns an empty application graph.
 func NewApp(name string) *App { return core.NewApp(name) }
+
+// ---- multi-job scheduling (internal/sched) ----
+//
+// One cluster executes any number of concurrent jobs. Each submission
+// gets its own application master and — unless JobConfig.Raw — a bag
+// namespace, so jobs built from the same graph cannot collide; the
+// registry validates at submit time that no two live jobs can touch the
+// same physical bag (including names derived at runtime). Worker slots
+// are arbitrated by weighted fair-share leasing: a job may use the whole
+// cluster while alone, but when a neighbor starves, over-share jobs stop
+// claiming and their clone workers are preempted cooperatively (they
+// yield at the next chunk boundary; late binding hands their remaining
+// chunks to the task's surviving workers, so no work is lost or redone).
+//
+//	jobA, _ := cluster.SubmitJob(ctx, app, hurricane.JobConfig{Name: "a"})
+//	jobB, _ := cluster.SubmitJob(ctx, app, hurricane.JobConfig{Name: "b", Weight: 2})
+//	hurricane.Load(ctx, store, jobA.Bag("in"), codec, dataA) // namespaced names
+//	...
+//	_ = jobA.Wait(ctx)
+//
+// Cluster.Run remains the single-job path: a Submit-and-Wait with
+// namespacing disabled.
+type (
+	// JobConfig tunes one job submission (name, namespace, fair-share
+	// weight, per-job master overrides).
+	JobConfig = core.JobConfig
+	// JobHandle is the caller's grip on a submitted job: Bag (name
+	// mapping), Wait, Err, Stats, Discard.
+	JobHandle = core.JobHandle
+	// JobStats reports a job's scheduling state and master counters.
+	JobStats = core.JobStats
+	// JobState is a job's lifecycle state (queued, running, done, failed).
+	JobState = sched.State
+	// SchedConfig tunes the multi-job scheduler (ClusterConfig.Sched):
+	// admission limits, fair-share leasing, preemption cadence.
+	SchedConfig = sched.Config
+)
+
+// JobState values, comparable against JobHandle.State().
+const (
+	JobQueued  = sched.StateQueued
+	JobRunning = sched.StateRunning
+	JobDone    = sched.StateDone
+	JobFailed  = sched.StateFailed
+)
 
 // ---- adaptive control plane (internal/ctrl) ----
 //

@@ -41,6 +41,15 @@ var groupByOutCodec = hurricane.PairOf(hurricane.Uint64Of,
 // controls — rather than with the host's core count. 0 disables it; the
 // skewed-shuffle benchmark uses it so consumer load dominates runtime.
 func GroupByApp(parts int, spread, noClone bool, recordCostNS int) *hurricane.App {
+	return GroupByAppCosts(parts, spread, noClone, 0, recordCostNS)
+}
+
+// GroupByAppCosts is GroupByApp with separate simulated per-record costs
+// for the shuffle (producer) and aggregate (consumer) stages. A non-zero
+// shuffle cost makes the producers CPU-bound, so they trip overload
+// detection and clone — which is what the multi-job co-run benchmark
+// needs from its badly behaved neighbor.
+func GroupByAppCosts(parts int, spread, noClone bool, shuffleCostNS, recordCostNS int) *hurricane.App {
 	app := hurricane.NewApp("groupby")
 	app.SourceBag(GroupByIn)
 	app.AddBag(hurricane.BagSpec{Name: GroupByShuf, Partitions: parts, Spread: spread})
@@ -53,7 +62,17 @@ func GroupByApp(parts int, spread, noClone bool, recordCostNS int) *hurricane.Ap
 		Run: func(tc *hurricane.TaskCtx) error {
 			pw := hurricane.NewPartitionedWriter(tc, 0, tupleCodec,
 				hurricane.Uint64Key(func(t joinPair) uint64 { return t.First }))
-			return hurricane.ForEach(tc, 0, tupleCodec, pw.Write)
+			var owedNS int64
+			return hurricane.ForEach(tc, 0, tupleCodec, func(t joinPair) error {
+				if shuffleCostNS > 0 {
+					owedNS += int64(shuffleCostNS)
+					if owedNS >= 500_000 {
+						time.Sleep(time.Duration(owedNS))
+						owedNS = 0
+					}
+				}
+				return pw.Write(t)
+			})
 		},
 	})
 
@@ -115,14 +134,20 @@ func GroupByApp(parts int, spread, noClone bool, recordCostNS int) *hurricane.Ap
 
 // LoadGroupBy loads and seals the groupby source relation.
 func LoadGroupBy(ctx context.Context, store *hurricane.Store, tuples []workload.Tuple) error {
+	return LoadGroupByInto(ctx, store, GroupByIn, tuples)
+}
+
+// LoadGroupByInto loads and seals the groupby source relation under an
+// explicit (e.g. job-namespaced) bag name.
+func LoadGroupByInto(ctx context.Context, store *hurricane.Store, bagName string, tuples []workload.Tuple) error {
 	pairs := make([]joinPair, len(tuples))
 	for i, t := range tuples {
 		pairs[i] = joinPair{First: t.Key, Second: t.Payload}
 	}
-	if err := hurricane.Load(ctx, store, GroupByIn, tupleCodec, pairs); err != nil {
+	if err := hurricane.Load(ctx, store, bagName, tupleCodec, pairs); err != nil {
 		return err
 	}
-	return hurricane.Seal(ctx, store, GroupByIn)
+	return hurricane.Seal(ctx, store, bagName)
 }
 
 // GroupByResult is the final aggregate for one key.
@@ -136,7 +161,13 @@ type GroupByResult struct {
 // register-wise. This is where records of a spread heavy-hitter key (or a
 // key whose partition was re-hash split mid-stream) reconverge.
 func CollectGroupBy(ctx context.Context, store *hurricane.Store) (map[uint64]GroupByResult, error) {
-	recs, err := hurricane.Collect(ctx, store, GroupByOut, groupByOutCodec)
+	return CollectGroupByFrom(ctx, store, GroupByOut)
+}
+
+// CollectGroupByFrom reads and merges the partial aggregates from an
+// explicit (e.g. job-namespaced) output bag name.
+func CollectGroupByFrom(ctx context.Context, store *hurricane.Store, bagName string) (map[uint64]GroupByResult, error) {
+	recs, err := hurricane.Collect(ctx, store, bagName, groupByOutCodec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,49 @@
+package apps
+
+import "repro/hurricane"
+
+// SquareSum bag names.
+const (
+	SquareSumIn  = "nums"
+	SquareSumMid = "squares"
+	SquareSumOut = "total"
+)
+
+// SquareSumApp is the quickstart graph — square a stream of integers,
+// then sum the squares — shared by the served `sqsum` job kind and the
+// public-API tests. The sum stage declares a merge procedure, so the
+// engine may clone it under load and reconcile the clones' partial
+// sums. (examples/quickstart inlines the same graph on purpose: the
+// example's job is to show how an application is written.)
+func SquareSumApp() *hurricane.App {
+	app := hurricane.NewApp("sqsum")
+	app.SourceBag(SquareSumIn).Bag(SquareSumMid).Bag(SquareSumOut)
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "square",
+		Inputs:  []string{SquareSumIn},
+		Outputs: []string{SquareSumMid},
+		Run: func(tc *hurricane.TaskCtx) error {
+			w := hurricane.NewWriter(tc, 0, hurricane.Int64Of)
+			return hurricane.ForEach(tc, 0, hurricane.Int64Of, func(v int64) error {
+				return w.Write(v * v)
+			})
+		},
+	})
+	app.AddTask(hurricane.TaskSpec{
+		Name:    "sum",
+		Inputs:  []string{SquareSumMid},
+		Outputs: []string{SquareSumOut},
+		Merge:   hurricane.MergeSum(),
+		Run: func(tc *hurricane.TaskCtx) error {
+			var total int64
+			if err := hurricane.ForEach(tc, 0, hurricane.Int64Of, func(v int64) error {
+				total += v
+				return nil
+			}); err != nil {
+				return err
+			}
+			return hurricane.NewWriter(tc, 0, hurricane.Int64Of).Write(total)
+		},
+	})
+	return app
+}

@@ -335,6 +335,45 @@ func (s *Store) Delete(ctx context.Context, name string) error {
 	return s.fanout(ctx, name, &transport.Request{Op: transport.OpDelete})
 }
 
+// DeletePrefix garbage collects every bag whose name starts with prefix
+// on every storage node — including slot bags of names derived at
+// runtime (partition splits, isolated-key bags, clone partials) that the
+// caller cannot enumerate. The multi-job scheduler uses it to discard a
+// completed job's namespace in one sweep. Down nodes are skipped: a bag
+// they held is unreachable anyway, and replicas (if any) are covered by
+// the per-node broadcast.
+func (s *Store) DeletePrefix(ctx context.Context, prefix string) error {
+	if prefix == "" {
+		return fmt.Errorf("bag: refusing to delete the empty prefix")
+	}
+	req := &transport.Request{Op: transport.OpDeletePrefix, Bag: prefix}
+	var ok int
+	for _, n := range s.Nodes() {
+		s.mu.RLock()
+		isDown := s.down[n]
+		s.mu.RUnlock()
+		if isDown {
+			continue
+		}
+		resp, err := s.cfg.Client.Call(ctx, n, req)
+		if err != nil {
+			if errors.Is(err, transport.ErrNodeDown) {
+				s.MarkDown(n)
+				continue
+			}
+			return err
+		}
+		if err := resp.Error(); err != nil {
+			return err
+		}
+		ok++
+	}
+	if ok == 0 {
+		return fmt.Errorf("bag: delete prefix %q: %w", prefix, transport.ErrNodeDown)
+	}
+	return nil
+}
+
 // Rename atomically renames a bag on every slot. Both names must hash to
 // permutations over the same slot count.
 func (s *Store) Rename(ctx context.Context, from, to string) error {

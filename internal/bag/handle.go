@@ -30,7 +30,8 @@ type Bag struct {
 	perm  []int
 	pos   int // next insert position within perm
 
-	cons *consumer // lazily started remove pipeline
+	cons     *consumer // lazily started remove pipeline
+	quiesced bool      // wind down instead of fetching more (Quiesce)
 }
 
 // Name returns the bag's name.
@@ -73,9 +74,27 @@ func (b *Bag) Insert(ctx context.Context, c chunk.Chunk) error {
 // pointer on the storage node is the single point of truth.
 func (b *Bag) Remove(ctx context.Context) (chunk.Chunk, error) {
 	if b.cons == nil {
+		if b.quiesced {
+			return nil, ErrEmpty
+		}
 		b.cons = newConsumer(b)
 	}
 	return b.cons.next(ctx)
+}
+
+// Quiesce winds the consumer down without losing data: the prefetch
+// pipeline stops issuing new removes against storage, chunks it already
+// consumed keep flowing out of Remove, and once they are drained Remove
+// reports ErrEmpty — exactly the end-of-bag protocol, just early. This
+// is the data-safe half of cooperative preemption: a yielded worker must
+// still process every chunk the pipeline took from the bag, because a
+// consumed chunk dropped on the floor is lost forever. Must be called
+// from the goroutine that calls Remove.
+func (b *Bag) Quiesce() {
+	b.quiesced = true
+	if b.cons != nil {
+		b.cons.quiesce()
+	}
 }
 
 // CloseConsumer stops the prefetch pipeline, if one is running. Chunks
@@ -214,10 +233,11 @@ type consumer struct {
 	ch     chan fetchResult
 	wg     sync.WaitGroup
 
-	mu      sync.Mutex
-	done    []bool // per-slot: sealed and drained
-	pending int    // live slots
-	cursor  int    // next index into perm to hand out
+	mu        sync.Mutex
+	done      []bool // per-slot: sealed and drained
+	pending   int    // live slots
+	cursor    int    // next index into perm to hand out
+	quiescing bool   // fetchers exit instead of removing more chunks
 }
 
 func newConsumer(b *Bag) *consumer {
@@ -279,10 +299,26 @@ func (c *consumer) retire(slot int) (remaining int) {
 	return c.pending
 }
 
+// quiesce makes every fetcher exit before its next remove. Chunks
+// already fetched (buffered in the channel or held by an in-flight
+// request) still reach Remove; the channel then closes, ending the bag
+// early for this handle only.
+func (c *consumer) quiesce() {
+	c.mu.Lock()
+	c.quiescing = true
+	c.mu.Unlock()
+}
+
 func (c *consumer) fetchLoop() {
 	defer c.wg.Done()
 	interval := c.b.store.cfg.pollInterval()
 	for {
+		c.mu.Lock()
+		stop := c.quiescing
+		c.mu.Unlock()
+		if stop {
+			return
+		}
 		slot := c.nextSlot()
 		if slot < 0 {
 			// All slots drained. The channel close (after all fetchers

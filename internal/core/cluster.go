@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -36,9 +37,14 @@ type ClusterConfig struct {
 	// TransportLatency adds artificial latency to every storage request.
 	TransportLatency time.Duration
 
-	// Node and Master tuning.
+	// Node and Master tuning. Master is the default for every job;
+	// JobConfig.Master overrides it per job.
 	Node   NodeConfig
 	Master MasterConfig
+
+	// Sched tunes the multi-job scheduler (admission control, fair-share
+	// slot leasing, preemption cadence).
+	Sched sched.Config
 }
 
 func (c *ClusterConfig) fill() {
@@ -57,33 +63,57 @@ func (c *ClusterConfig) fill() {
 	if c.BatchFactor <= 0 {
 		c.BatchFactor = bag.DefaultBatchFactor
 	}
+	c.Sched.Fill()
 }
 
-// Cluster is an embedded Hurricane cluster.
+// Cluster is an embedded Hurricane cluster. One cluster executes any
+// number of concurrent jobs (SubmitJob); compute nodes are shared, with
+// worker slots arbitrated between jobs by fair-share leasing
+// (internal/sched). Cluster.Run remains the single-job convenience
+// path: a Submit-and-Wait with namespacing disabled.
 type Cluster struct {
 	cfg      ClusterConfig
 	inproc   *transport.InProc
 	store    *bag.Store
 	storages map[string]*storage.Node
 
-	mu       sync.Mutex
-	computes map[string]*ComputeNode
-	master   *Master
-	app      *App
-	nextComp int
-	nextStor int
+	// poolCtx bounds the shared compute pool and the scheduler loop; it
+	// outlives any single job and is cancelled by Shutdown.
+	poolCtx    context.Context
+	poolCancel context.CancelFunc
+
+	reg    *sched.Registry
+	leases *sched.Leases
+
+	mu          sync.Mutex
+	computes    map[string]*ComputeNode
+	jobs        map[string]*JobHandle
+	primary     *JobHandle // job driving the legacy Start/Wait/Master API
+	poolStarted bool
+	nextComp    int
+	nextStor    int
+}
+
+func newCluster(cfg ClusterConfig) *Cluster {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Cluster{
+		cfg:        cfg,
+		storages:   make(map[string]*storage.Node),
+		computes:   make(map[string]*ComputeNode),
+		jobs:       make(map[string]*JobHandle),
+		poolCtx:    ctx,
+		poolCancel: cancel,
+		reg:        sched.NewRegistry(cfg.Sched),
+		leases:     sched.NewLeases(cfg.Sched.DisableFairShare),
+	}
 }
 
 // NewCluster provisions storage nodes and a bag store per the config.
-// Compute nodes and the master are created by Run (or Start).
+// Compute nodes are created when the first job is submitted.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	cfg.fill()
-	c := &Cluster{
-		cfg:      cfg,
-		inproc:   transport.NewInProc(),
-		storages: make(map[string]*storage.Node),
-		computes: make(map[string]*ComputeNode),
-	}
+	c := newCluster(cfg)
+	c.inproc = transport.NewInProc()
 	if cfg.TransportLatency > 0 {
 		c.inproc.SetLatency(cfg.TransportLatency)
 	}
@@ -116,35 +146,69 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 // NewClusterOverStore builds a cluster whose storage tier is external —
 // for example hurricane-storage servers reached over TCP. Only compute
-// nodes and the application master run in this process; StorageNodes,
+// nodes and the application masters run in this process; StorageNodes,
 // Replication, ChunkSize, and BatchFactor in cfg are ignored (they are
 // properties of the supplied store). Storage crash injection is
 // unavailable in this mode.
 func NewClusterOverStore(store *bag.Store, cfg ClusterConfig) *Cluster {
 	cfg.fill()
-	return &Cluster{
-		cfg:      cfg,
-		store:    store,
-		storages: make(map[string]*storage.Node),
-		computes: make(map[string]*ComputeNode),
-	}
+	c := newCluster(cfg)
+	c.store = store
+	return c
 }
 
 // Store exposes the cluster's bag store (to load source bags and read
 // results).
 func (c *Cluster) Store() *bag.Store { return c.store }
 
-// Master returns the current application master (nil before Start).
+// Master returns the primary job's current application master (nil
+// before Start). Jobs submitted through SubmitJob carry their own
+// master; reach it through the JobHandle.
 func (c *Cluster) Master() *Master {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.master
+	h := c.primary
+	c.mu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h.currentMaster()
 }
 
-// ---- ClusterControl ----
+// Job returns the handle of a submitted job, or nil.
+func (c *Cluster) Job(name string) *JobHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jobs[name]
+}
 
-// KillTask implements ClusterControl.
-func (c *Cluster) KillTask(spec string, epoch int) {
+// ensurePoolLocked lazily provisions the shared compute pool and the
+// scheduler loop. Caller holds c.mu.
+func (c *Cluster) ensurePoolLocked() {
+	if c.poolStarted {
+		return
+	}
+	c.poolStarted = true
+	for i := 0; i < c.cfg.ComputeNodes; i++ {
+		name := fmt.Sprintf("compute-%d", i)
+		node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, c.leases, c.cfg.Node)
+		c.computes[name] = node
+		node.Start(c.poolCtx)
+	}
+	c.nextComp = c.cfg.ComputeNodes
+	c.leases.SetTotal(c.totalSlotsLocked())
+	go c.schedLoop()
+}
+
+// ---- ClusterControl (legacy, job-agnostic: used by masters constructed
+// directly against the cluster; jobs submitted normally get a job-scoped
+// jobControl instead) ----
+
+// KillTask implements ClusterControl across all jobs.
+func (c *Cluster) KillTask(spec string, epoch int) { c.killTask("", spec, epoch) }
+
+// killTask terminates running workers of (spec, epoch) on every live
+// compute node; job scopes the kill ("" = any job).
+func (c *Cluster) killTask(job, spec string, epoch int) {
 	c.mu.Lock()
 	nodes := make([]*ComputeNode, 0, len(c.computes))
 	for _, n := range c.computes {
@@ -152,16 +216,36 @@ func (c *Cluster) KillTask(spec string, epoch int) {
 	}
 	c.mu.Unlock()
 	for _, n := range nodes {
-		n.KillTask(spec, epoch)
+		n.KillTask(job, spec, epoch)
 	}
 }
 
-// FreeSlots implements ClusterControl.
+// yieldWorker forwards a fair-share preemption request to the named node.
+func (c *Cluster) yieldWorker(job, node, bpID string) bool {
+	c.mu.Lock()
+	n := c.computes[node]
+	c.mu.Unlock()
+	if n == nil {
+		return false
+	}
+	return n.Yield(job, bpID)
+}
+
+// YieldWorker implements ClusterControl across all jobs.
+func (c *Cluster) YieldWorker(node, bpID string) bool {
+	return c.yieldWorker("", node, bpID)
+}
+
+// FreeSlots implements ClusterControl. Draining nodes claim nothing, so
+// their slots are not counted.
 func (c *Cluster) FreeSlots() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	free := 0
 	for _, n := range c.computes {
+		if n.Draining() {
+			continue
+		}
 		free += n.Slots() - n.Running()
 	}
 	return free
@@ -171,8 +255,15 @@ func (c *Cluster) FreeSlots() int {
 func (c *Cluster) TotalSlots() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.totalSlotsLocked()
+}
+
+func (c *Cluster) totalSlotsLocked() int {
 	total := 0
 	for _, n := range c.computes {
+		if n.Draining() {
+			continue
+		}
 		total += n.Slots()
 	}
 	return total
@@ -180,48 +271,35 @@ func (c *Cluster) TotalSlots() int {
 
 // ---- lifecycle ----
 
-// Start validates the app, spins up compute nodes and the master, and
-// begins execution. Source bags must be loaded and sealed beforehand.
+// Start submits the app as the cluster's primary job (no bag
+// namespacing, work bags retained — the paper's single-job deployment)
+// and begins execution. Source bags must be loaded and sealed
+// beforehand. Unlike the single-job engine this no longer excludes other
+// jobs: SubmitJob may run further jobs alongside it.
 func (c *Cluster) Start(ctx context.Context, app *App) error {
-	if err := app.Validate(); err != nil {
+	h, err := c.SubmitJob(ctx, app, JobConfig{Raw: true, Retain: true})
+	if err != nil {
 		return err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.master != nil {
-		return fmt.Errorf("core: cluster already running an app")
-	}
-	c.app = app
-	c.master = NewMaster(app, c.store, c, c.cfg.Master)
-	wb := c.master.WorkBags()
-	for i := 0; i < c.cfg.ComputeNodes; i++ {
-		name := fmt.Sprintf("compute-%d", i)
-		node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, app, wb, c.master, c.cfg.Node)
-		c.computes[name] = node
-		node.Start(ctx)
-	}
-	c.nextComp = c.cfg.ComputeNodes
-	c.master.Start(ctx)
+	c.primary = h
+	c.mu.Unlock()
 	return nil
 }
 
-// Wait blocks until the running app completes and returns its error.
+// Wait blocks until the primary job completes and returns its error.
 func (c *Cluster) Wait(ctx context.Context) error {
 	c.mu.Lock()
-	m := c.master
+	h := c.primary
 	c.mu.Unlock()
-	if m == nil {
+	if h == nil {
 		return fmt.Errorf("core: no app running")
 	}
-	select {
-	case <-m.Done():
-		return m.Err()
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return h.Wait(ctx)
 }
 
-// Run starts the app and waits for completion.
+// Run starts the app and waits for completion — a Submit-and-Wait over
+// the multi-job scheduler.
 func (c *Cluster) Run(ctx context.Context, app *App) error {
 	if err := c.Start(ctx, app); err != nil {
 		return err
@@ -229,53 +307,87 @@ func (c *Cluster) Run(ctx context.Context, app *App) error {
 	return c.Wait(ctx)
 }
 
-// Shutdown stops all compute nodes and the master.
+// Shutdown stops every job's master, all compute nodes, and the
+// scheduler. Workers still running are killed — a job that has not
+// completed by Shutdown never will, so draining could wait forever on a
+// worker whose input never arrives. Queued jobs that never started are
+// failed.
 func (c *Cluster) Shutdown() {
 	c.mu.Lock()
 	nodes := make([]*ComputeNode, 0, len(c.computes))
 	for _, n := range c.computes {
 		nodes = append(nodes, n)
 	}
-	m := c.master
-	c.mu.Unlock()
-	for _, n := range nodes {
-		n.Stop()
+	var masters []*Master
+	var queued []*JobHandle
+	for _, h := range c.jobs {
+		if m := h.currentMaster(); m != nil {
+			masters = append(masters, m)
+		} else {
+			queued = append(queued, h)
+		}
 	}
-	if m != nil {
+	c.mu.Unlock()
+	for _, m := range masters {
 		m.Stop()
 	}
+	for _, n := range nodes {
+		n.Crash()
+	}
+	for _, h := range queued {
+		h.finish(fmt.Errorf("core: cluster shut down before job started"))
+	}
+	c.poolCancel()
 }
 
 // ---- elasticity and fault injection ----
 
-// AddComputeNode adds a compute node mid-run (§3.4).
+// AddComputeNode adds a compute node mid-run (§3.4); it joins the shared
+// pool and serves every running job.
 func (c *Cluster) AddComputeNode(ctx context.Context) (string, error) {
+	_ = ctx // the pool context governs node lifetime
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.master == nil {
+	if !c.poolStarted {
 		return "", fmt.Errorf("core: no app running")
 	}
 	name := fmt.Sprintf("compute-%d", c.nextComp)
 	c.nextComp++
-	node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, c.app, c.master.WorkBags(), c.master, c.cfg.Node)
+	node := NewComputeNode(name, c.cfg.SlotsPerNode, c.store, c.leases, c.cfg.Node)
 	c.computes[name] = node
-	node.Start(ctx)
+	for _, h := range c.jobs {
+		h.mu.Lock()
+		if h.state == sched.StateRunning && h.master != nil {
+			node.Attach(h.id, h.app, h.master.WorkBags(), h.master)
+		}
+		h.mu.Unlock()
+	}
+	node.Start(c.poolCtx)
+	c.leases.SetTotal(c.totalSlotsLocked())
 	return name, nil
 }
 
 // RemoveComputeNode gracefully removes a compute node: it stops claiming
-// tasks and the call returns after its current workers complete.
+// tasks and the call returns after its current workers complete. The
+// node leaves the slot accounting immediately but stays visible to
+// recovery kill sweeps until its last worker has stopped — a failure
+// recovery racing the removal must still be able to kill the draining
+// node's stale-epoch workers.
 func (c *Cluster) RemoveComputeNode(name string) error {
 	c.mu.Lock()
 	node, ok := c.computes[name]
 	if ok {
-		delete(c.computes, name)
+		node.BeginDrain()
+		c.leases.SetTotal(c.totalSlotsLocked())
 	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: unknown compute node %q", name)
 	}
 	node.Stop()
+	c.mu.Lock()
+	delete(c.computes, name)
+	c.mu.Unlock()
 	return nil
 }
 
@@ -297,34 +409,53 @@ func (c *Cluster) AddStorageNode() string {
 	c.storages[name] = node
 	c.inproc.Register(name, node)
 	c.store.AddNode(name)
-	m := c.master
+	masters := c.runningMastersLocked()
 	c.mu.Unlock()
-	if m != nil {
+	for _, m := range masters {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := m.ResealAll(ctx); err != nil {
+		err := m.ResealAll(ctx)
+		cancel()
+		if err != nil {
 			m.fail(err)
 		}
 	}
 	return name
 }
 
-// CrashComputeNode abruptly kills a compute node and notifies the master,
-// which recovers the affected tasks (§4.4). Set notify=false to exercise
-// heartbeat-timeout detection instead.
+// runningMastersLocked snapshots every running job's master. Caller
+// holds c.mu.
+func (c *Cluster) runningMastersLocked() []*Master {
+	var out []*Master
+	for _, h := range c.jobs {
+		h.mu.Lock()
+		if h.state == sched.StateRunning && h.master != nil {
+			out = append(out, h.master)
+		}
+		h.mu.Unlock()
+	}
+	return out
+}
+
+// CrashComputeNode abruptly kills a compute node and notifies every
+// running job's master, which recover their affected tasks (§4.4). Set
+// notify=false to exercise heartbeat-timeout detection instead.
 func (c *Cluster) CrashComputeNode(name string, notify bool) error {
 	c.mu.Lock()
 	node, ok := c.computes[name]
 	if ok {
 		delete(c.computes, name)
+		c.leases.SetTotal(c.totalSlotsLocked())
 	}
-	m := c.master
+	var masters []*Master
+	if notify {
+		masters = c.runningMastersLocked()
+	}
 	c.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("core: unknown compute node %q", name)
 	}
 	node.Crash()
-	if notify && m != nil {
+	for _, m := range masters {
 		m.NotifyNodeFailure(name)
 	}
 	return nil
@@ -345,12 +476,11 @@ func (c *Cluster) CrashStorageNode(name string) error {
 	return nil
 }
 
-// CrashMaster stops the master, preserving its durable state in the work
-// bags. Compute nodes keep executing tasks from the ready bag.
+// CrashMaster stops the primary job's master, preserving its durable
+// state in the work bags. Compute nodes keep executing tasks from the
+// ready bag.
 func (c *Cluster) CrashMaster() error {
-	c.mu.Lock()
-	m := c.master
-	c.mu.Unlock()
+	m := c.Master()
 	if m == nil {
 		return fmt.Errorf("core: no master running")
 	}
@@ -358,14 +488,26 @@ func (c *Cluster) CrashMaster() error {
 	return nil
 }
 
-// RecoverMaster starts a fresh master that rebuilds its execution-graph
-// state by replaying the work bags (§4.4: "when the application master
-// fails, we restart it and replay the done work bag").
+// RecoverMaster starts a fresh master for the primary job that rebuilds
+// its execution-graph state by replaying the work bags (§4.4: "when the
+// application master fails, we restart it and replay the done work
+// bag").
 func (c *Cluster) RecoverMaster(ctx context.Context) *Master {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	old := c.master
-	m := NewMaster(c.app, c.store, c, c.cfg.Master)
+	h := c.primary
+	if h == nil {
+		return nil
+	}
+	mcfg := c.cfg.Master
+	if h.cfg.Master != nil {
+		mcfg = *h.cfg.Master
+	}
+	mcfg.Job = h.id
+	m := NewMaster(h.app, c.store, &jobControl{c: c, job: h.id}, mcfg)
+	h.mu.Lock()
+	old := h.master
+	h.mu.Unlock()
 	// Carry over node liveness. A node known dead must have its recovery
 	// re-run: the previous master may have crashed between detecting the
 	// failure and completing (or even starting) the recovery, and the
@@ -387,10 +529,15 @@ func (c *Cluster) RecoverMaster(ctx context.Context) *Master {
 			m.enqueueRecovery(n)
 		}
 	}
-	c.master = m
+	h.mu.Lock()
+	h.master = m
+	oldSwap := h.swap
+	h.swap = make(chan struct{})
+	h.mu.Unlock()
+	close(oldSwap) // wake the supervisor onto the new master
 	// Point compute nodes' control plane at the new master.
 	for _, n := range c.computes {
-		n.setMaster(m)
+		n.setMaster(h.id, m)
 	}
 	m.Start(ctx)
 	return m

@@ -158,7 +158,14 @@ func sumApp(processed *atomic.Int64) *App {
 // readSum collects the single int64 result from the out bag.
 func readSum(t *testing.T, ctx context.Context, store *bag.Store) int64 {
 	t.Helper()
-	sc := store.Scanner("out")
+	return readSumBag(t, ctx, store, "out")
+}
+
+// readSumBag collects the int64 sum from a named (possibly namespaced)
+// result bag.
+func readSumBag(t *testing.T, ctx context.Context, store *bag.Store, bagName string) int64 {
+	t.Helper()
+	sc := store.Scanner(bagName)
 	var total int64
 	for {
 		c, err := sc.Next(ctx)

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/shuffle"
+)
+
+// JobConfig tunes one job submission to a multi-job cluster.
+type JobConfig struct {
+	// Name uniquely identifies the job within the cluster. Empty
+	// defaults to the application name. Two live jobs cannot share a
+	// name.
+	Name string
+	// Prefix namespaces the job's bags: every declared bag name (and
+	// every name derived from one — physical partitions, control bags,
+	// work bags, clone partials) is stored as "<prefix>/<name>", so
+	// concurrent jobs built from the same application graph cannot
+	// collide. Empty defaults to Name. Load source bags and read outputs
+	// through JobHandle.Bag, which maps declared names to physical ones.
+	Prefix string
+	// Raw disables namespacing: bags keep their declared names.
+	// Cluster.Run submits this way so single-job applications keep the
+	// paper's flat naming. Submission still validates that the raw names
+	// cannot collide with any live job's.
+	Raw bool
+	// Weight is the job's fair-share weight (default
+	// sched.Config.DefaultWeight). A weight-2 job is entitled to twice
+	// the worker slots of a weight-1 job under contention.
+	Weight int
+	// Retain keeps the job's work and control bags after completion
+	// (Cluster.Run sets it; tests replay them). Without it the scheduler
+	// garbage collects them when the job finishes; data bags always
+	// remain until JobHandle.Discard.
+	Retain bool
+	// Master overrides the cluster-wide MasterConfig for this job (nil
+	// uses the cluster default). This is how co-running jobs get
+	// different mitigation policies.
+	Master *MasterConfig
+}
+
+// JobStats reports a job's scheduling state and its master's activity.
+type JobStats struct {
+	State   string // queued | running | done | failed
+	Weight  int
+	Share   int // current fair-share slot allotment (0 once finished)
+	Running int // worker slots claimed cluster-wide right now
+	Master  MasterStats
+}
+
+// JobHandle is the caller's grip on one submitted job.
+type JobHandle struct {
+	c      *Cluster
+	id     string
+	prefix string // "" for raw jobs
+	app    *App   // namespaced application graph
+	cfg    JobConfig
+	subCtx context.Context // submission context; used if admitted later
+
+	mu     sync.Mutex
+	master *Master
+	swap   chan struct{} // closed when master is replaced (recovery)
+	state  sched.State
+	err    error
+	done   chan struct{}
+}
+
+// ID returns the job's unique name.
+func (h *JobHandle) ID() string { return h.id }
+
+// Bag maps a declared bag name to the physical (namespaced) bag name:
+// load source bags into, and collect outputs from, the returned name.
+func (h *JobHandle) Bag(name string) string {
+	if h.prefix == "" {
+		return name
+	}
+	return h.prefix + "/" + name
+}
+
+// State reports the job's lifecycle state.
+func (h *JobHandle) State() sched.State {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Done returns a channel closed when the job completes (or fails).
+func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Err returns the job error, if any. Valid after Done is closed.
+func (h *JobHandle) Err() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Wait blocks until the job completes and returns its error.
+func (h *JobHandle) Wait(ctx context.Context) error {
+	select {
+	case <-h.done:
+		return h.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats returns the job's scheduling and master counters.
+func (h *JobHandle) Stats() JobStats {
+	h.mu.Lock()
+	m := h.master
+	state := h.state
+	h.mu.Unlock()
+	js := JobStats{
+		State:   state.String(),
+		Weight:  h.c.reg.Weight(h.id),
+		Share:   h.c.leases.Share(h.id),
+		Running: h.c.leases.Running(h.id),
+	}
+	if m != nil {
+		js.Master = m.Stats()
+	}
+	return js
+}
+
+// currentMaster returns the job's master (nil while queued).
+func (h *JobHandle) currentMaster() *Master {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.master
+}
+
+// finish records completion exactly once.
+func (h *JobHandle) finish(err error) {
+	h.mu.Lock()
+	if h.state == sched.StateDone || h.state == sched.StateFailed {
+		h.mu.Unlock()
+		return
+	}
+	h.err = err
+	if err != nil {
+		h.state = sched.StateFailed
+	} else {
+		h.state = sched.StateDone
+	}
+	h.mu.Unlock()
+	close(h.done)
+}
+
+// Discard garbage collects every bag the finished job owned — outputs
+// included — and releases its name claims, so a later submission may
+// reuse the names. It fails while the job is still queued or running.
+func (h *JobHandle) Discard(ctx context.Context) error {
+	h.mu.Lock()
+	state := h.state
+	h.mu.Unlock()
+	if state == sched.StateQueued || state == sched.StateRunning {
+		return fmt.Errorf("core: job %q is %s; discard after completion", h.id, state)
+	}
+	store := h.c.store
+	if h.prefix != "" {
+		// Everything the job ever touched lives under its namespace —
+		// including runtime-derived names no caller could enumerate.
+		if err := store.DeletePrefix(ctx, h.prefix+"/"); err != nil {
+			return err
+		}
+	} else {
+		for _, b := range h.app.Bags() {
+			if err := store.Delete(ctx, b); err != nil {
+				return err
+			}
+			if h.app.BagSpecFor(b).Partitions > 0 {
+				if err := store.DeletePrefix(ctx, b+".p"); err != nil {
+					return err
+				}
+				if err := store.DeletePrefix(ctx, b+".h"); err != nil {
+					return err
+				}
+				if err := store.Delete(ctx, shuffle.PMapBag(b)); err != nil {
+					return err
+				}
+				// Edge sketches are keyed by the logical bag name, which
+				// plain Delete does not touch; left behind they would seed
+				// a name-reusing successor job with this job's cumulative
+				// producer statistics.
+				if err := store.DeleteSketch(ctx, b); err != nil {
+					return err
+				}
+			}
+		}
+		for _, t := range h.app.Tasks() {
+			spec := h.app.Task(t)
+			if spec.requiresMerge() {
+				if err := store.DeletePrefix(ctx, spec.Outputs[0]+"~p"); err != nil {
+					return err
+				}
+			}
+		}
+		wb := newWorkBags(store, h.app.Name())
+		for _, n := range []string{wb.readyName(), wb.runningName(), wb.doneName()} {
+			if err := store.Delete(ctx, n); err != nil {
+				return err
+			}
+		}
+	}
+	h.c.reg.Release(h.id)
+	h.c.mu.Lock()
+	delete(h.c.jobs, h.id)
+	if h.c.primary == h {
+		h.c.primary = nil
+	}
+	h.c.mu.Unlock()
+	return nil
+}
+
+// ---- namespacing ----
+
+// namespacedApp returns a copy of app with every bag name (and the
+// application name, which keys the work bags) moved under
+// "<prefix>/". Task names are left alone: blueprints live in the job's
+// own work bags, so they cannot collide across jobs. Task functions are
+// shared by reference — they address bags by index through the TaskCtx,
+// so they observe the namespaced names transparently.
+func namespacedApp(app *App, prefix string) *App {
+	ns := func(n string) string { return prefix + "/" + n }
+	out := NewApp(ns(app.name))
+	for name, b := range app.bags {
+		s := *b
+		s.Name = ns(name)
+		out.bags[s.Name] = &s
+	}
+	nsAll := func(names []string) []string {
+		if names == nil {
+			return nil
+		}
+		mapped := make([]string, len(names))
+		for i, n := range names {
+			mapped[i] = ns(n)
+		}
+		return mapped
+	}
+	for name, t := range app.tasks {
+		s := *t
+		s.Inputs = nsAll(t.Inputs)
+		s.Outputs = nsAll(t.Outputs)
+		s.ScanInputs = nsAll(t.ScanInputs)
+		out.tasks[name] = &s
+	}
+	return out
+}
+
+// appClaims enumerates the physical bag names a job may touch: declared
+// bags and work bags exactly, plus prefixes covering runtime-derived
+// names (physical partitions "<bag>.p…" and their splits, isolated
+// heavy-hitter bags "<bag>.h…", clone partial bags "<out>~p…"). Raw
+// jobs register these with the registry, which rejects a submission
+// whose claims overlap a live job's; namespaced jobs register their
+// whole "<prefix>/" subtree instead (Discard sweeps exactly that), with
+// the detailed claims still used for within-job validation.
+func appClaims(app *App) sched.NameClaims {
+	var c sched.NameClaims
+	for _, b := range app.Bags() {
+		c.Exact = append(c.Exact, b)
+		if app.BagSpecFor(b).Partitions > 0 {
+			c.Exact = append(c.Exact, shuffle.PMapBag(b))
+			c.Derived = append(c.Derived, b+".p", b+".h")
+		}
+	}
+	for _, t := range app.Tasks() {
+		spec := app.Task(t)
+		if spec.requiresMerge() {
+			c.Derived = append(c.Derived, spec.Outputs[0]+"~p")
+		}
+	}
+	wb := newWorkBags(nil, app.Name())
+	c.Exact = append(c.Exact, wb.readyName(), wb.runningName(), wb.doneName())
+	return c
+}
+
+// ---- submission and supervision ----
+
+// SubmitJob admits a job into the cluster: it validates the application
+// graph and its (namespaced) bag names against every live job, then
+// either starts it immediately or queues it behind the concurrency
+// limit. Source bags must be loaded and sealed — under the names
+// JobHandle.Bag reports — before the job's tasks consume them; loading
+// before SubmitJob is the safe order.
+func (c *Cluster) SubmitJob(ctx context.Context, app *App, cfg JobConfig) (*JobHandle, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Name == "" {
+		cfg.Name = app.Name()
+	}
+	prefix := ""
+	if !cfg.Raw {
+		prefix = cfg.Prefix
+		if prefix == "" {
+			prefix = cfg.Name
+		}
+	}
+	nsApp := app
+	if prefix != "" {
+		nsApp = namespacedApp(app, prefix)
+		if err := nsApp.Validate(); err != nil {
+			return nil, fmt.Errorf("core: namespacing job %q: %w", cfg.Name, err)
+		}
+	}
+	// Within-job validation always runs on the detailed claims: a bag
+	// that shadows a sibling's derived names (declaring both partitioned
+	// "x" and plain "x.p0") is a latent cross-talk bug namespacing can't
+	// fix.
+	claims := appClaims(nsApp)
+	if msg, bad := claims.SelfConflict(); bad {
+		return nil, fmt.Errorf("core: job %q: %s", cfg.Name, msg)
+	}
+	// Cross-job claims: a namespaced job owns its entire "<prefix>/"
+	// subtree — Discard sweeps exactly that prefix, so the claim must
+	// cover it all (including a raw job's bag that merely starts with
+	// the prefix, which the detailed claims would miss).
+	if prefix != "" {
+		claims = sched.NameClaims{Prefix: []string{prefix + "/"}}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// Namespaces must not nest: JobHandle.Discard deletes the whole
+	// "<prefix>/" subtree, which must never reach into a sibling job.
+	// (The registry's prefix-claim overlap check would also catch this;
+	// the explicit check names both jobs in the error.)
+	for id, other := range c.jobs {
+		if prefix != "" && other.prefix != "" &&
+			(strings.HasPrefix(prefix, other.prefix+"/") || strings.HasPrefix(other.prefix, prefix+"/")) {
+			return nil, fmt.Errorf("core: job %q namespace %q nests inside job %q namespace %q",
+				cfg.Name, prefix, id, other.prefix)
+		}
+	}
+	start, err := c.reg.Submit(cfg.Name, claims, cfg.Weight)
+	if err != nil {
+		return nil, err
+	}
+	h := &JobHandle{
+		c:      c,
+		id:     cfg.Name,
+		prefix: prefix,
+		app:    nsApp,
+		cfg:    cfg,
+		subCtx: ctx,
+		swap:   make(chan struct{}),
+		state:  sched.StateQueued,
+		done:   make(chan struct{}),
+	}
+	c.jobs[h.id] = h
+	if start {
+		c.startJobLocked(ctx, h)
+	}
+	return h, nil
+}
+
+// startJobLocked moves an admitted job into execution: build its master
+// behind a job-scoped control adapter, bind it to every compute node,
+// and begin supervision. Caller holds c.mu.
+func (c *Cluster) startJobLocked(ctx context.Context, h *JobHandle) {
+	c.ensurePoolLocked()
+	mcfg := c.cfg.Master
+	if h.cfg.Master != nil {
+		mcfg = *h.cfg.Master
+	}
+	mcfg.Job = h.id
+	m := NewMaster(h.app, c.store, &jobControl{c: c, job: h.id}, mcfg)
+	c.leases.Add(h.id, c.reg.Weight(h.id))
+	h.mu.Lock()
+	h.master = m
+	h.state = sched.StateRunning
+	h.mu.Unlock()
+	for _, n := range c.computes {
+		n.Attach(h.id, h.app, m.WorkBags(), m)
+	}
+	m.Start(ctx)
+	go c.supervise(h)
+}
+
+// supervise waits for the job's (current) master to complete the job,
+// surviving master crash/recovery swaps, then finalizes it.
+func (c *Cluster) supervise(h *JobHandle) {
+	for {
+		h.mu.Lock()
+		m := h.master
+		swap := h.swap
+		h.mu.Unlock()
+		select {
+		case <-m.Done():
+			c.finalizeJob(h, m.Err())
+			return
+		case <-swap:
+			// Master replaced (recovery); watch the successor.
+		case <-c.poolCtx.Done():
+			return
+		}
+	}
+}
+
+// finalizeJob releases a completed job's slots and name bindings, admits
+// queued jobs the freed concurrency slot allows, and garbage collects
+// the job's work bags unless retained.
+func (c *Cluster) finalizeJob(h *JobHandle, jobErr error) {
+	c.mu.Lock()
+	nodes := make([]*ComputeNode, 0, len(c.computes))
+	for _, n := range c.computes {
+		n.Detach(h.id)
+		nodes = append(nodes, n)
+	}
+	c.leases.Remove(h.id)
+	admit := c.reg.Finish(h.id, jobErr != nil)
+	var toStart []*JobHandle
+	for _, id := range admit {
+		if nh := c.jobs[id]; nh != nil {
+			toStart = append(toStart, nh)
+		}
+	}
+	c.mu.Unlock()
+	if jobErr != nil {
+		// A failed job's workers will never be rescheduled; reap them so
+		// their slots return to the pool.
+		for _, n := range nodes {
+			n.KillJob(h.id)
+		}
+	}
+	h.finish(jobErr)
+	if !h.cfg.Retain {
+		c.gcJob(h)
+	}
+	c.mu.Lock()
+	for _, nh := range toStart {
+		c.startJobLocked(nh.subCtx, nh)
+	}
+	c.mu.Unlock()
+}
+
+// gcJob garbage collects a finished job's scheduling state: the work
+// bags and partition-map control bags. Data bags stay until
+// JobHandle.Discard. Best-effort: the job is already complete, and a
+// down storage node must not fail it retroactively.
+func (c *Cluster) gcJob(h *JobHandle) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	wb := newWorkBags(c.store, h.app.Name())
+	for _, n := range []string{wb.readyName(), wb.runningName(), wb.doneName()} {
+		_ = c.store.Delete(ctx, n)
+	}
+	for _, b := range h.app.Bags() {
+		if h.app.BagSpecFor(b).Partitions > 0 {
+			_ = c.store.Delete(ctx, shuffle.PMapBag(b))
+		}
+	}
+}
+
+// schedPass is one scheduling tick: sample every running job's unclaimed
+// ready blueprints into the lease allocator's demand signal, then run
+// the preemption plan — asking over-share jobs' masters to yield clone
+// workers toward starved jobs' deficits.
+func (c *Cluster) schedPass() {
+	type item struct {
+		h     *JobHandle
+		m     *Master
+		ready string
+	}
+	c.mu.Lock()
+	items := make([]item, 0, len(c.jobs))
+	for _, h := range c.jobs {
+		h.mu.Lock()
+		if h.state == sched.StateRunning && h.master != nil {
+			items = append(items, item{h, h.master, h.master.WorkBags().readyName()})
+		}
+		h.mu.Unlock()
+	}
+	c.mu.Unlock()
+	if len(items) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(c.poolCtx, 5*time.Second)
+	defer cancel()
+	for _, it := range items {
+		pending := 0
+		if st, err := c.store.Sample(ctx, it.ready); err == nil {
+			pending = int(st.RemainingChunks())
+		}
+		c.leases.SetDemand(it.h.id, pending)
+	}
+	if c.leases.FairShare() {
+		plan := c.leases.Plan()
+		for _, it := range items {
+			if n := plan[it.h.id]; n > 0 {
+				it.m.YieldClones(n)
+			}
+		}
+	}
+}
+
+func (c *Cluster) schedLoop() {
+	t := time.NewTicker(c.cfg.Sched.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.poolCtx.Done():
+			return
+		case <-t.C:
+			c.schedPass()
+		}
+	}
+}
+
+// ---- per-job control adapter ----
+
+// jobControl is the ClusterControl a job's master sees: kills are scoped
+// to the job's workers, and the mitigation budget (LeaseSlots) is capped
+// by the job's fair-share lease so its clones cannot starve neighbors.
+type jobControl struct {
+	c   *Cluster
+	job string
+}
+
+// KillTask implements ClusterControl, scoped to the owning job.
+func (jc *jobControl) KillTask(spec string, epoch int) {
+	jc.c.killTask(jc.job, spec, epoch)
+}
+
+// FreeSlots implements ClusterControl: physical idle slots, shared by
+// all jobs.
+func (jc *jobControl) FreeSlots() int { return jc.c.FreeSlots() }
+
+// TotalSlots implements ClusterControl.
+func (jc *jobControl) TotalSlots() int { return jc.c.TotalSlots() }
+
+// YieldWorker implements ClusterControl, scoped to the owning job.
+func (jc *jobControl) YieldWorker(node, bpID string) bool {
+	return jc.c.yieldWorker(jc.job, node, bpID)
+}
+
+// LeaseSlots implements LeaseInfo: the job's clone budget this round.
+func (jc *jobControl) LeaseSlots() int {
+	return jc.c.leases.CloneBudget(jc.job, jc.c.FreeSlots())
+}

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bag"
@@ -23,10 +25,27 @@ type ClusterControl interface {
 	FreeSlots() int
 	// TotalSlots reports the total number of worker slots cluster-wide.
 	TotalSlots() int
+	// YieldWorker asks the named compute node to preempt the worker
+	// identified by blueprint ID at its next chunk boundary (fair-share
+	// clone preemption). It reports whether the worker was found.
+	YieldWorker(node, bpID string) bool
+}
+
+// LeaseInfo is optionally implemented by a ClusterControl in a multi-job
+// cluster: LeaseSlots reports the job's current fair-share mitigation
+// budget, which the master forwards into telemetry snapshots so
+// ctrl.Arbitrate caps cloning at the lease.
+type LeaseInfo interface {
+	LeaseSlots() int
 }
 
 // MasterConfig tunes the application master.
 type MasterConfig struct {
+	// Job identifies the owning job in a multi-job cluster; it tags
+	// telemetry snapshots (ctrl.Snapshot.Job) and scheduler accounting.
+	// Empty defaults to the application name.
+	Job string
+
 	// PollInterval is a compatibility knob from the polling era: the
 	// control loop is event-driven (it blocks on telemetry signals), and a
 	// non-zero PollInterval merely pins the loop's idle fallback timer to
@@ -174,6 +193,17 @@ type taskState struct {
 
 	// running maps blueprint ID -> node, for failure recovery.
 	running map[string]string
+
+	// yieldable records, per worker index of the current epoch, whether
+	// the worker is a safe fair-share preemption target: a clone that
+	// consumes the task's declared inputs (not a private physical
+	// partition), so the chunks it leaves behind are drained by the
+	// task's other workers. Absent means "unknown" and is treated as not
+	// yieldable.
+	yieldable map[int]bool
+	// yielding marks workers asked to yield whose completion has not
+	// been observed yet, so repeated preemption rounds do not over-yield.
+	yielding map[int]bool
 }
 
 func (st *taskState) reset(epoch int) {
@@ -186,6 +216,8 @@ func (st *taskState) reset(epoch int) {
 	st.renamed = false
 	st.finished = false
 	st.running = make(map[string]string)
+	st.yieldable = make(map[int]bool)
+	st.yielding = make(map[int]bool)
 }
 
 // partials returns the partial-output bag names for the task's current
@@ -229,6 +261,12 @@ type Master struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
+	// stopped marks a deliberate Stop (crash simulation, recovery swap,
+	// shutdown) as opposed to the caller's job context being cancelled.
+	// A stopped master exits silently — a successor replays the work
+	// bags; a cancelled job context is a job failure that must release
+	// the job's scheduler state.
+	stopped atomic.Bool
 
 	mu         sync.Mutex
 	tasks      map[string]*taskState
@@ -260,12 +298,16 @@ type Master struct {
 	speculative  int
 	splits       int
 	isolations   int
+	yields       int
 }
 
 // NewMaster creates a master for the app. The caller must have validated
 // the app and sealed its source bags.
 func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterConfig) *Master {
 	cfg.fill()
+	if cfg.Job == "" {
+		cfg.Job = app.Name()
+	}
 	m := &Master{
 		app:        app,
 		store:      store,
@@ -337,6 +379,7 @@ func (m *Master) Start(parent context.Context) {
 // Stop halts the master without completing the job (e.g. to simulate a
 // master crash; compute and storage nodes keep running).
 func (m *Master) Stop() {
+	m.stopped.Store(true)
 	if m.cancel != nil {
 		m.cancel()
 	}
@@ -363,6 +406,7 @@ type MasterStats struct {
 	Speculative   int // speculative clone attempts (paper future work)
 	Splits        int // hot partitions re-hashed into sub-partitions
 	Isolations    int // heavy-hitter keys isolated into dedicated bags
+	Yields        int // clone workers preempted by fair-share leasing
 	TasksFinished int
 }
 
@@ -440,8 +484,80 @@ func (m *Master) Stats() MasterStats {
 		Speculative:   m.speculative,
 		Splits:        m.splits,
 		Isolations:    m.isolations,
+		Yields:        m.yields,
 		TasksFinished: m.finished,
 	}
+}
+
+// YieldClones asks up to n of the job's running clone workers to yield
+// at their next chunk boundary — the scheduler's fair-share preemption
+// path. A yielded clone finishes normally (its partial output keeps the
+// work it already did; the remaining chunks are drained by the task's
+// surviving workers through late binding), so preemption never loses or
+// redoes work. Only clones known safe are selected: worker index > 0,
+// consuming the task's declared inputs, with at least one other live
+// worker left to drain the bag. Yields still in flight count against n,
+// so repeated preemption rounds do not over-yield. It returns the number
+// of yields newly requested.
+func (m *Master) YieldClones(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	type target struct {
+		node, bpID string
+		st         *taskState
+		w          int
+	}
+	var targets []target
+	m.mu.Lock()
+	inflight := 0
+	for _, name := range m.app.Tasks() {
+		inflight += len(m.tasks[name].yielding)
+	}
+	budget := n - inflight
+	for _, name := range m.app.Tasks() {
+		if budget <= 0 {
+			break
+		}
+		st := m.tasks[name]
+		if !st.scheduled || st.finished {
+			continue
+		}
+		live := st.workers - len(st.doneWorkers)
+		// Leave at least one worker (beyond those already yielding) to
+		// drain the input bag.
+		allowed := live - len(st.yielding) - 1
+		// Prefer the most recent clones: they have consumed the least.
+		for w := st.workers - 1; w >= 1 && allowed > 0 && budget > 0; w-- {
+			if st.doneWorkers[w] || st.yielding[w] || !st.yieldable[w] {
+				continue
+			}
+			bpID := blueprintID(st.spec.Name, w, st.epoch)
+			node, running := st.running[bpID]
+			if !running {
+				continue // not claimed yet: no slot to free
+			}
+			st.yielding[w] = true
+			m.yields++
+			targets = append(targets, target{node: node, bpID: bpID, st: st, w: w})
+			allowed--
+			budget--
+		}
+	}
+	m.mu.Unlock()
+	yielded := 0
+	for _, t := range targets {
+		if m.control.YieldWorker(t.node, t.bpID) {
+			yielded++
+			continue
+		}
+		// Worker already gone (completed or killed): roll back.
+		m.mu.Lock()
+		delete(t.st.yielding, t.w)
+		m.yields--
+		m.mu.Unlock()
+	}
+	return yielded
 }
 
 // ---- masterAPI (telemetry forwarding from compute nodes) ----
@@ -529,6 +645,17 @@ func (m *Master) loop() {
 	for {
 		progress, err := m.tick()
 		if err != nil {
+			if m.ctx.Err() != nil && m.stopped.Load() {
+				// The master itself was stopped (crash simulation or
+				// shutdown) and the in-flight pass was cut mid-operation.
+				// That is not a job failure: a successor master replays
+				// the work bags and finishes the job.
+				return
+			}
+			// Any other error — including the *job's* context being
+			// cancelled by its submitter — fails the job, so the
+			// scheduler releases its lease, concurrency slot, and name
+			// claims instead of wedging a zombie.
 			m.fail(err)
 			return
 		}
@@ -556,6 +683,9 @@ func (m *Master) loop() {
 		case <-m.hub.Wake():
 		case <-timer.C:
 		case <-m.ctx.Done():
+			if !m.stopped.Load() {
+				m.fail(m.ctx.Err()) // job context cancelled by the submitter
+			}
 			return
 		}
 	}
@@ -624,8 +754,13 @@ func (m *Master) controlPass() (int, error) {
 // fillSnapshot contributes the master's authoritative task and edge state
 // to a telemetry snapshot. Pure forwarding: no decisions are made here.
 func (m *Master) fillSnapshot(snap *ctrl.Snapshot) {
+	snap.Job = m.cfg.Job
 	snap.FreeSlots = m.control.FreeSlots()
 	snap.TotalSlots = m.control.TotalSlots()
+	if li, ok := m.control.(LeaseInfo); ok {
+		snap.LeaseCapped = true
+		snap.LeaseSlots = li.LeaseSlots()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for name, st := range m.tasks {
@@ -753,6 +888,10 @@ func (m *Master) applyClone(act ctrl.CloneTask) (bool, error) {
 	if act.Speculative {
 		m.speculative++
 	}
+	// A clone on the task's declared inputs shares them with the other
+	// workers and is therefore safe to preempt; a clone bound to a
+	// specific physical partition bag is not (nobody else drains it).
+	st.yieldable[w] = act.Inputs == nil
 	bp := m.blueprintFor(st, w, act.Inputs)
 	m.mu.Unlock()
 	if err := m.wb.pushReady(m.ctx, bp); err != nil {
@@ -772,6 +911,14 @@ func (m *Master) absorbRecords() (int, error) {
 		m.mu.Lock()
 		defer m.mu.Unlock()
 		m.applyScheduledEvidence(bp.Spec, bp.Epoch, bp.Worker, bp.Kind == KindMerge)
+		// The ready bag carries full blueprints, so it is also the replay
+		// source for which workers are preemptible: this is how a
+		// recovered master relearns its predecessor's yieldable clones.
+		if bp.Kind == KindTask {
+			if st := m.tasks[bp.Spec]; st != nil && bp.Epoch == st.epoch {
+				st.yieldable[bp.Worker] = slices.Equal(bp.Inputs, st.spec.Inputs)
+			}
+		}
 		return nil
 	}); err != nil {
 		return seen, err
@@ -848,6 +995,7 @@ func (m *Master) applyDone(e *event) error {
 	}
 	m.applyScheduledEvidence(e.Spec, e.Epoch, e.Worker, false)
 	st.doneWorkers[e.Worker] = true
+	delete(st.yielding, e.Worker)
 	return nil
 }
 

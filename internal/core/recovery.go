@@ -158,7 +158,7 @@ func (m *Master) recoverNode(node string) {
 		for _, b := range plan.discard {
 			for _, phys := range m.physicalBags(b) {
 				if err := m.store.Discard(m.ctx, phys); err != nil {
-					m.fail(err)
+					m.failRecovery(err)
 					return
 				}
 			}
@@ -168,7 +168,7 @@ func (m *Master) recoverNode(node string) {
 			// double-count the records they will re-write.
 			if m.edges[b] != nil {
 				if err := m.store.DeleteSketch(m.ctx, b); err != nil {
-					m.fail(err)
+					m.failRecovery(err)
 					return
 				}
 			}
@@ -176,10 +176,22 @@ func (m *Master) recoverNode(node string) {
 		for _, b := range plan.rewind {
 			for _, phys := range m.physicalBags(b) {
 				if err := m.store.Rewind(m.ctx, phys); err != nil {
-					m.fail(err)
+					m.failRecovery(err)
 					return
 				}
 			}
 		}
 	}
+}
+
+// failRecovery records a recovery error as a job failure — unless the
+// master itself was stopped mid-recovery (crash simulation, shutdown),
+// in which case the interrupted scrub is not a job failure: the
+// successor master re-derives the dead nodes from carried-over liveness
+// state and re-runs the recovery from the work bags.
+func (m *Master) failRecovery(err error) {
+	if m.ctx.Err() != nil && m.stopped.Load() {
+		return
+	}
+	m.fail(err)
 }

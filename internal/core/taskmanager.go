@@ -2,13 +2,15 @@ package core
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/sched"
 )
 
-// masterAPI is the control-plane interface task managers use to reach the
+// masterAPI is the control-plane interface task managers use to reach an
 // application master. In the embedded engine this is the in-process
 // master; the data plane (work bags, data bags) goes through storage
 // regardless.
@@ -32,26 +34,58 @@ type masterAPI interface {
 	staleBlueprint(bp *Blueprint) bool
 }
 
-// ComputeNode is a Hurricane compute node: it runs a task manager that
-// removes blueprints from the ready work bag and executes them on local
-// worker slots (§3.1).
-type ComputeNode struct {
-	name  string
-	slots int
-	store *bag.Store
+// binding connects a compute node to one job: the job's application
+// graph, work bags, and (repointable, for master recovery) master.
+type binding struct {
+	job   string
 	app   *App
 	wb    *workBags
-	cfg   NodeConfig
+	ready *bag.Bag
 
-	masterMu sync.RWMutex
-	master   masterAPI
+	mu     sync.RWMutex
+	master masterAPI
+}
+
+func (b *binding) getMaster() masterAPI {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.master
+}
+
+func (b *binding) setMaster(m masterAPI) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.master = m
+}
+
+// workerEntry tracks one running worker and the job binding it belongs
+// to (completion reports and overload signals go to the owning master).
+type workerEntry struct {
+	w *worker
+	b *binding
+}
+
+// ComputeNode is a Hurricane compute node: it runs a task manager that
+// removes blueprints from the ready work bags of every job bound to it
+// and executes them on local worker slots (§3.1). With several jobs
+// bound, claims are gated by the scheduler's slot leases: each claimed
+// slot is billed to the owning job, and claim order follows fair-share
+// priority so freed slots flow to the job furthest below its share.
+type ComputeNode struct {
+	name   string
+	slots  int
+	store  *bag.Store
+	cfg    NodeConfig
+	leases *sched.Leases // nil: no lease gating (direct construction)
 
 	ctx    context.Context
 	cancel context.CancelFunc
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
-	workers  map[string]*worker // keyed by blueprint ID
+	bindings map[string]*binding
+	rot      int                     // rotation offset for unarbitrated claim order
+	workers  map[string]*workerEntry // keyed by job + "/" + blueprint ID
 	crashed  bool
 	draining bool
 }
@@ -89,34 +123,48 @@ func (c *NodeConfig) fill() {
 }
 
 // NewComputeNode creates a compute node with the given number of worker
-// slots. Call Start to begin executing tasks.
-func NewComputeNode(name string, slots int, store *bag.Store, app *App, wb *workBags, master masterAPI, cfg NodeConfig) *ComputeNode {
+// slots. Jobs are connected with Attach; call Start to begin executing
+// tasks. leases, when non-nil, gates claims by the scheduler's
+// fair-share slot leasing.
+func NewComputeNode(name string, slots int, store *bag.Store, leases *sched.Leases, cfg NodeConfig) *ComputeNode {
 	cfg.fill()
-	n := &ComputeNode{
-		name:    name,
-		slots:   slots,
-		store:   store,
-		app:     app,
-		wb:      wb,
-		cfg:     cfg,
-		workers: make(map[string]*worker),
+	return &ComputeNode{
+		name:     name,
+		slots:    slots,
+		store:    store,
+		cfg:      cfg,
+		leases:   leases,
+		bindings: make(map[string]*binding),
+		workers:  make(map[string]*workerEntry),
 	}
-	n.master = master
-	return n
 }
 
-// setMaster repoints the node's control plane at a new master (master
+// Attach binds a job to the node: its ready bag joins the claim rotation
+// and its master receives this node's heartbeats and overload signals.
+func (n *ComputeNode) Attach(job string, app *App, wb *workBags, master masterAPI) {
+	b := &binding{job: job, app: app, wb: wb, ready: n.store.Bag(wb.readyName()), master: master}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.bindings[job] = b
+}
+
+// Detach unbinds a completed job. Workers of the job still running are
+// left to finish; their completion reports go to the captured binding.
+func (n *ComputeNode) Detach(job string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.bindings, job)
+}
+
+// setMaster repoints a job's control plane at a new master (master
 // recovery).
-func (n *ComputeNode) setMaster(m masterAPI) {
-	n.masterMu.Lock()
-	defer n.masterMu.Unlock()
-	n.master = m
-}
-
-func (n *ComputeNode) getMaster() masterAPI {
-	n.masterMu.RLock()
-	defer n.masterMu.RUnlock()
-	return n.master
+func (n *ComputeNode) setMaster(job string, m masterAPI) {
+	n.mu.Lock()
+	b := n.bindings[job]
+	n.mu.Unlock()
+	if b != nil {
+		b.setMaster(m)
+	}
 }
 
 // Name returns the node name.
@@ -135,9 +183,7 @@ func (n *ComputeNode) Start(parent context.Context) {
 // is removed by stopping its task manager after its current workers have
 // completed").
 func (n *ComputeNode) Stop() {
-	n.mu.Lock()
-	n.draining = true
-	n.mu.Unlock()
+	n.BeginDrain()
 	for {
 		n.mu.Lock()
 		idle := len(n.workers) == 0
@@ -153,19 +199,36 @@ func (n *ComputeNode) Stop() {
 	n.wg.Wait()
 }
 
+// BeginDrain marks the node draining — it claims no further blueprints —
+// without waiting for running workers. The cluster marks a node draining
+// before removing it so slot accounting excludes it immediately, while
+// the node stays visible to recovery kill sweeps until fully stopped.
+func (n *ComputeNode) BeginDrain() {
+	n.mu.Lock()
+	n.draining = true
+	n.mu.Unlock()
+}
+
+// Draining reports whether the node has stopped claiming blueprints.
+func (n *ComputeNode) Draining() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.draining
+}
+
 // Crash simulates a compute-node failure: all workers are killed
-// immediately and the node stops heartbeating, so the master will detect
-// the failure and restart the affected tasks.
+// immediately and the node stops heartbeating, so the masters will
+// detect the failure and restart the affected tasks.
 func (n *ComputeNode) Crash() {
 	n.mu.Lock()
 	n.crashed = true
-	workers := make([]*worker, 0, len(n.workers))
-	for _, w := range n.workers {
-		workers = append(workers, w)
+	workers := make([]*workerEntry, 0, len(n.workers))
+	for _, we := range n.workers {
+		workers = append(workers, we)
 	}
 	n.mu.Unlock()
-	for _, w := range workers {
-		w.kill()
+	for _, we := range workers {
+		we.w.kill()
 	}
 	if n.cancel != nil {
 		n.cancel()
@@ -183,17 +246,19 @@ func (n *ComputeNode) Running() int {
 // Slots returns the node's worker slot count.
 func (n *ComputeNode) Slots() int { return n.slots }
 
-// KillTask kills local workers whose blueprint matches the given spec and
-// epoch, waiting until they have fully stopped. The master invokes this
-// during failure recovery to terminate all running clones of a failed task
-// (§4.4); the wait guarantees no straggling worker touches the task's bags
-// after the master starts scrubbing them.
-func (n *ComputeNode) KillTask(spec string, epoch int) {
+// KillTask kills local workers of the given job whose blueprint matches
+// the given spec and epoch, waiting until they have fully stopped. A
+// master invokes this during failure recovery to terminate all running
+// clones of a failed task (§4.4); the wait guarantees no straggling
+// worker touches the task's bags after the master starts scrubbing them.
+// Task names are only unique within a job, so the kill is job-scoped
+// ("" matches any job — the legacy single-job control path).
+func (n *ComputeNode) KillTask(job, spec string, epoch int) {
 	n.mu.Lock()
 	var victims []*worker
-	for _, w := range n.workers {
-		if w.bp.Spec == spec && w.bp.Epoch == epoch {
-			victims = append(victims, w)
+	for _, we := range n.workers {
+		if (job == "" || we.b.job == job) && we.w.bp.Spec == spec && we.w.bp.Epoch == epoch {
+			victims = append(victims, we.w)
 		}
 	}
 	n.mu.Unlock()
@@ -205,9 +270,83 @@ func (n *ComputeNode) KillTask(spec string, epoch int) {
 	}
 }
 
+// KillJob kills every local worker of the named job, waiting until they
+// have fully stopped. The cluster reaps a failed job's workers this way
+// — e.g. after its submission context was cancelled — so their slots
+// return to the pool even though no recovery will ever reschedule them.
+func (n *ComputeNode) KillJob(job string) {
+	n.mu.Lock()
+	var victims []*worker
+	for _, we := range n.workers {
+		if we.b.job == job {
+			victims = append(victims, we.w)
+		}
+	}
+	n.mu.Unlock()
+	for _, w := range victims {
+		w.kill()
+	}
+	for _, w := range victims {
+		<-w.done
+	}
+}
+
+// Yield asks the identified worker to stop consuming at its next chunk
+// boundary and complete normally (fair-share clone preemption). It
+// reports whether the worker was found.
+func (n *ComputeNode) Yield(job, bpID string) bool {
+	n.mu.Lock()
+	we := n.workers[job+"/"+bpID]
+	if we == nil && job == "" {
+		for _, cand := range n.workers {
+			if cand.w.bp.ID == bpID {
+				we = cand
+				break
+			}
+		}
+	}
+	n.mu.Unlock()
+	if we == nil {
+		return false
+	}
+	we.w.tc.requestYield()
+	return true
+}
+
+// pickBindings snapshots the node's bindings in claim order: fair-share
+// priority (furthest below share first) when leasing is active, a
+// per-sweep rotation otherwise so no job is structurally favored.
+func (n *ComputeNode) pickBindings() []*binding {
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.bindings))
+	for id := range n.bindings {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	rot := n.rot
+	n.rot++
+	bs := make([]*binding, 0, len(ids))
+	if len(ids) > 0 {
+		if n.leases != nil && n.leases.FairShare() {
+			prio := n.leases.Priorities(ids)
+			sort.SliceStable(ids, func(a, b int) bool {
+				return prio[ids[a]] < prio[ids[b]]
+			})
+			for _, id := range ids {
+				bs = append(bs, n.bindings[id])
+			}
+		} else {
+			for i := range ids {
+				bs = append(bs, n.bindings[ids[(i+rot)%len(ids)]])
+			}
+		}
+	}
+	n.mu.Unlock()
+	return bs
+}
+
 func (n *ComputeNode) scheduleLoop() {
 	defer n.wg.Done()
-	ready := n.store.Bag(n.wb.readyName())
 	for {
 		if n.ctx.Err() != nil {
 			return
@@ -224,43 +363,72 @@ func (n *ComputeNode) scheduleLoop() {
 			}
 			continue
 		}
-		bp, err := n.wb.pollReady(n.ctx, ready)
-		if err != nil {
-			// ErrAgain: nothing ready. ErrEmpty cannot normally happen
-			// (the ready bag is never sealed); treat both as idle.
+		claimed := false
+		for _, b := range n.pickBindings() {
+			if n.leases != nil && !n.leases.Acquire(b.job) {
+				continue // over lease with a starved neighbor
+			}
+			bp, err := b.wb.pollReady(n.ctx, b.ready)
+			if err != nil {
+				// ErrAgain: nothing ready. ErrEmpty cannot normally happen
+				// (the ready bag is never sealed); treat both as idle.
+				if n.leases != nil {
+					n.leases.Release(b.job)
+				}
+				continue
+			}
+			n.startWorker(b, bp)
+			claimed = true
+			break
+		}
+		if !claimed {
 			if !sleepCtx(n.ctx, n.cfg.PollInterval) {
 				return
 			}
-			continue
 		}
-		n.startWorker(bp)
 	}
 }
 
-func (n *ComputeNode) startWorker(bp *Blueprint) {
-	master := n.getMaster()
+// startWorker runs a claimed blueprint. It owns the job's lease token:
+// every exit path either hands it to the worker's completion goroutine
+// or releases it.
+func (n *ComputeNode) startWorker(b *binding, bp *Blueprint) {
+	release := func() {
+		if n.leases != nil {
+			n.leases.Release(b.job)
+		}
+	}
+	master := b.getMaster()
 	if master.staleBlueprint(bp) {
+		release()
 		return // abandoned epoch: recovery already rescheduled the task
 	}
 	// Record the start before executing so the master can find the task
 	// during failure recovery.
-	if err := n.wb.recordStart(n.ctx, bp, n.name); err != nil {
+	if err := b.wb.recordStart(n.ctx, bp, n.name); err != nil {
+		release()
 		return // node is shutting down or storage unreachable
 	}
 	// Register the gated worker before it consumes anything, then
-	// re-validate the epoch: either a concurrent recovery's KillTask sees
-	// the registered worker, or the recovery finished first and the
-	// re-check observes the bumped epoch. Both orders kill the worker
-	// before it touches the rewound bags.
-	w := runWorkerGated(n.ctx, bp, n.store, n.app)
+	// re-validate: (a) the epoch — either a concurrent recovery's
+	// KillTask sees the registered worker, or the recovery finished
+	// first and the re-check observes the bumped epoch; (b) the binding
+	// — a failed job's finalize detaches the binding before its KillJob
+	// sweep, so either the sweep sees the registered worker or this
+	// re-check observes the detach. Both orders kill the worker before
+	// it touches the job's bags.
+	w := runWorkerGated(n.ctx, bp, n.store, b.app)
+	key := b.job + "/" + bp.ID
 	n.mu.Lock()
-	n.workers[bp.ID] = w
+	n.workers[key] = &workerEntry{w: w, b: b}
+	stillBound := n.bindings[b.job] == b
 	n.mu.Unlock()
-	if master.staleBlueprint(bp) {
+	if master.staleBlueprint(bp) || !stillBound {
 		w.kill()
 		n.mu.Lock()
-		delete(n.workers, bp.ID)
+		delete(n.workers, key)
 		n.mu.Unlock()
+		release()
 		return
 	}
 	w.release()
@@ -270,8 +438,9 @@ func (n *ComputeNode) startWorker(bp *Blueprint) {
 	go func() {
 		defer n.wg.Done()
 		<-w.done
+		release()
 		n.mu.Lock()
-		delete(n.workers, bp.ID)
+		delete(n.workers, key)
 		crashed := n.crashed
 		n.mu.Unlock()
 		if w.killed.Load() || crashed {
@@ -283,8 +452,8 @@ func (n *ComputeNode) startWorker(bp *Blueprint) {
 		// graceful Stop racing with completion.
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		n.wb.recordDone(ctx, bp, n.name, w.err)
-		n.getMaster().nudge()
+		b.wb.recordDone(ctx, bp, n.name, w.err)
+		b.getMaster().nudge()
 	}()
 }
 
@@ -296,22 +465,27 @@ func (n *ComputeNode) monitorLoop() {
 		}
 		n.mu.Lock()
 		running := len(n.workers)
-		snapshot := make([]*worker, 0, running)
-		for _, w := range n.workers {
-			snapshot = append(snapshot, w)
+		snapshot := make([]*workerEntry, 0, running)
+		for _, we := range n.workers {
+			snapshot = append(snapshot, we)
+		}
+		masters := make([]masterAPI, 0, len(n.bindings))
+		for _, b := range n.bindings {
+			masters = append(masters, b.getMaster())
 		}
 		n.mu.Unlock()
-		master := n.getMaster()
-		master.heartbeat(n.name, running, n.slots)
+		for _, m := range masters {
+			m.heartbeat(n.name, running, n.slots)
+		}
 
 		// Overload detection: a worker that spent most of the interval
 		// computing (rather than waiting on storage) is CPU-bound; ask
-		// the master to clone its task. Clone messages are rate-limited
-		// by the master per task.
-		for _, w := range snapshot {
-			busy := w.tc.loadSnapshot()
+		// the owning job's master to clone its task. Clone messages are
+		// rate-limited by the master per task.
+		for _, we := range snapshot {
+			busy := we.w.tc.loadSnapshot()
 			if busy >= n.cfg.OverloadThreshold {
-				master.overload(n.name, w.bp, busy)
+				we.b.getMaster().overload(n.name, we.w.bp, busy)
 			}
 		}
 	}

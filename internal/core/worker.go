@@ -35,6 +35,13 @@ type TaskCtx struct {
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
 	chunksIn atomic.Int64
+
+	// yieldReq asks the worker to stop consuming at its next chunk
+	// boundary and finish normally (fair-share preemption of clones).
+	yieldReq atomic.Bool
+	// yieldApplied records that the input pipelines have been quiesced
+	// (worker goroutine only).
+	yieldApplied bool
 }
 
 func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *TaskCtx {
@@ -81,9 +88,27 @@ func (tc *TaskCtx) markWaitEnd(start int64) {
 	tc.last.Store(now)
 }
 
+// requestYield asks the worker to wind down consumption and finish
+// normally: its input pipelines are quiesced (no further chunks are
+// removed from storage, but chunks the prefetch pipeline already
+// consumed keep flowing — dropping them would lose data), the task
+// function then observes an ordinary end-of-input, flushes its outputs,
+// and completes. The chunks the worker never took are consumed by the
+// task's other workers through ordinary late binding. This is how the
+// multi-job scheduler preempts a clone without losing or redoing work;
+// it is only ever invoked on clones whose input bags another live worker
+// of the same task drains.
+func (tc *TaskCtx) requestYield() { tc.yieldReq.Store(true) }
+
 // Remove pulls the next chunk from input i. It returns bag.ErrEmpty when
 // the input is exhausted, which is the worker's termination signal.
 func (tc *TaskCtx) Remove(i int) (chunk.Chunk, error) {
+	if tc.yieldReq.Load() && !tc.yieldApplied {
+		tc.yieldApplied = true
+		for _, in := range tc.ins {
+			in.Quiesce()
+		}
+	}
 	start := tc.markBusyEnd()
 	c, err := tc.ins[i].Remove(tc.ctx)
 	tc.markWaitEnd(start)

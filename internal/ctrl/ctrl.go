@@ -142,8 +142,26 @@ type Snapshot struct {
 	Version uint64
 	Now     time.Time
 
+	// Job identifies the job this snapshot describes. In a multi-job
+	// cluster every job runs its own master, hub, and policy chain; the
+	// job identity lets policies and logs attribute actions, and marks
+	// that FreeSlots/LeaseSlots describe a *shared* cluster rather than
+	// one the job owns outright.
+	Job string
+
+	// FreeSlots and TotalSlots are the cluster's physical idle and total
+	// worker slots — shared by every concurrent job.
 	FreeSlots  int
 	TotalSlots int
+
+	// LeaseSlots, when LeaseCapped is set, is the job's fair-share
+	// mitigation budget this round: the number of additional workers the
+	// scheduler will let the job claim before a starved neighbor's share
+	// takes precedence. Arbitrate caps the clone budget at it so no
+	// policy — built-in or custom — can starve a neighboring job, even
+	// when physical FreeSlots are plentiful.
+	LeaseSlots  int
+	LeaseCapped bool
 
 	Nodes     map[string]NodeTel
 	Tasks     map[string]*TaskTel
@@ -289,8 +307,11 @@ type EdgeStatsConsumer interface {
 //
 //   - at most one clone per task per round (duplicate overload signals and
 //     clone/speculative overlap collapse to the first proposal);
-//   - total clones are capped by the snapshot's free slots (excess
-//     proposals become RejectClone, preserving the reject counters);
+//   - total clones are capped by the snapshot's free slots — and, in a
+//     multi-job cluster, by the job's fair-share lease budget
+//     (LeaseSlots), so one job's mitigations cannot starve its
+//     neighbors (excess proposals become RejectClone, preserving the
+//     reject counters);
 //   - at most one partition-map refinement per edge per round, preferring
 //     IsolateKey over SplitPartition (re-hashing cannot help when a single
 //     key carries the partition) over MarkUnsplittable;
@@ -319,6 +340,9 @@ func Arbitrate(snap *Snapshot, proposed []Action) []Action {
 	emittedRefinement := make(map[string]bool)
 	clonedTask := make(map[string]bool)
 	budget := snap.FreeSlots
+	if snap.LeaseCapped && snap.LeaseSlots < budget {
+		budget = snap.LeaseSlots
+	}
 	for _, a := range proposed {
 		switch act := a.(type) {
 		case CloneTask:

@@ -564,3 +564,44 @@ func TestEvaluateTraceConvergence(t *testing.T) {
 	}
 	t.Fatalf("policies never went quiet over the trace (%d refinements, map %+v)", refinements, pmap)
 }
+
+// TestArbitrateLeaseBudget: in a multi-job cluster the clone budget is
+// the minimum of physical free slots and the job's fair-share lease, so
+// a skewed job's mitigations cannot starve a neighboring job even when
+// idle slots exist (they are the neighbor's share).
+func TestArbitrateLeaseBudget(t *testing.T) {
+	snap := baseSnapshot()
+	snap.Job = "skewed"
+	snap.FreeSlots = 3
+	snap.LeaseCapped = true
+	snap.LeaseSlots = 1
+	for _, n := range []string{"a", "b"} {
+		snap.Tasks[n] = runningTask(n)
+	}
+	out := Arbitrate(snap, []Action{CloneTask{Task: "a"}, CloneTask{Task: "b"}})
+	var clones, rejects int
+	for _, a := range out {
+		switch a.(type) {
+		case CloneTask:
+			clones++
+		case RejectClone:
+			rejects++
+		}
+	}
+	if clones != 1 || rejects != 1 {
+		t.Fatalf("lease-capped arbitration: want 1 clone + 1 reject, got %v", out)
+	}
+
+	// Without the lease cap the same proposals both fit the free slots.
+	snap.LeaseCapped = false
+	out = Arbitrate(snap, []Action{CloneTask{Task: "a"}, CloneTask{Task: "b"}})
+	clones = 0
+	for _, a := range out {
+		if _, ok := a.(CloneTask); ok {
+			clones++
+		}
+	}
+	if clones != 2 {
+		t.Fatalf("uncapped arbitration: want 2 clones, got %v", out)
+	}
+}

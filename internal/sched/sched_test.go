@@ -1,0 +1,214 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClaimsConflicts(t *testing.T) {
+	a := NameClaims{
+		Exact:   []string{"a/in", "a/out", "a!ready"},
+		Derived: []string{"a/out~p"},
+	}
+	b := NameClaims{
+		Exact:   []string{"b/in", "b/out", "b!ready"},
+		Derived: []string{"b/out~p"},
+	}
+	if msg, bad := a.Conflict(b); bad {
+		t.Fatalf("disjoint claims conflict: %s", msg)
+	}
+
+	// Exact/exact overlap.
+	c := NameClaims{Exact: []string{"a/out"}}
+	if _, bad := a.Conflict(c); !bad {
+		t.Fatal("shared exact bag not detected")
+	}
+	// Exact caught by the other job's derived-name stem.
+	d := NameClaims{Exact: []string{"a/out~p3@e0"}}
+	if _, bad := a.Conflict(d); !bad {
+		t.Fatal("partial-bag name in foreign derived space not detected")
+	}
+	if _, bad := d.Conflict(a); !bad {
+		t.Fatal("derived conflict must be symmetric")
+	}
+	// A name extending the stem with a non-digit is NOT derived: legal.
+	e := NameClaims{Exact: []string{"a/out~partial"}}
+	if msg, bad := a.Conflict(e); bad {
+		t.Fatalf("non-digit stem extension wrongly flagged: %s", msg)
+	}
+	// Nested derived stems overlap.
+	f := NameClaims{Derived: []string{"a/out~p5"}}
+	if _, bad := a.Conflict(f); !bad {
+		t.Fatal("nested derived stems not detected")
+	}
+	// A namespace prefix claim swallows everything under it.
+	ns := NameClaims{Prefix: []string{"a/"}}
+	if _, bad := ns.Conflict(a); !bad {
+		t.Fatal("exact names under a foreign namespace not detected")
+	}
+	if _, bad := a.Conflict(ns); !bad {
+		t.Fatal("namespace conflict must be symmetric")
+	}
+}
+
+func TestClaimsSelfConflict(t *testing.T) {
+	// Declaring a partitioned bag "x" (derived stems x.p / x.h)
+	// alongside a plain bag "x.p0" shadows the derived partition names.
+	c := NameClaims{Exact: []string{"x", "x.p0"}, Derived: []string{"x.p", "x.h"}}
+	msg, bad := c.SelfConflict()
+	if !bad || !strings.Contains(msg, "x.p0") {
+		t.Fatalf("self conflict not detected: %q %v", msg, bad)
+	}
+	// "x.part2" extends the stem with a letter, not a digit: legal
+	// (pre-existing apps use such sibling names freely).
+	ok := NameClaims{Exact: []string{"x", "x.part2", "x.hits"}, Derived: []string{"x.p", "x.h"}}
+	if msg, bad := ok.SelfConflict(); bad {
+		t.Fatalf("clean claims flagged: %s", msg)
+	}
+}
+
+func TestRegistryAdmissionAndQueue(t *testing.T) {
+	r := NewRegistry(Config{MaxConcurrent: 1, MaxQueued: 1})
+	start, err := r.Submit("a", NameClaims{Exact: []string{"a/x"}}, 0)
+	if err != nil || !start {
+		t.Fatalf("first submit: start=%v err=%v", start, err)
+	}
+	start, err = r.Submit("b", NameClaims{Exact: []string{"b/x"}}, 0)
+	if err != nil || start {
+		t.Fatalf("second submit should queue: start=%v err=%v", start, err)
+	}
+	if st, _ := r.State("b"); st != StateQueued {
+		t.Fatalf("state(b) = %v, want queued", st)
+	}
+	// Queue full.
+	if _, err := r.Submit("c", NameClaims{Exact: []string{"c/x"}}, 0); err == nil {
+		t.Fatal("third submit should be rejected (queue full)")
+	}
+	// Duplicate id.
+	if _, err := r.Submit("a", NameClaims{Exact: []string{"other"}}, 0); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	// Collision with a live job.
+	if _, err := r.Submit("d", NameClaims{Exact: []string{"a/x"}}, 0); err == nil {
+		t.Fatal("bag collision accepted")
+	}
+	// Completion admits the queued job.
+	admit := r.Finish("a", false)
+	if len(admit) != 1 || admit[0] != "b" {
+		t.Fatalf("admit = %v, want [b]", admit)
+	}
+	if st, _ := r.State("b"); st != StateRunning {
+		t.Fatalf("state(b) = %v, want running", st)
+	}
+	// A finished job's claims persist until released.
+	if _, err := r.Submit("e", NameClaims{Exact: []string{"a/x"}}, 0); err == nil {
+		t.Fatal("claims of finished job should still conflict")
+	}
+	r.Release("a")
+	if start, err := r.Submit("e", NameClaims{Exact: []string{"a/x"}}, 0); err != nil || start {
+		t.Fatalf("after release: start=%v err=%v (want queued behind b)", start, err)
+	}
+}
+
+func TestLeaseShares(t *testing.T) {
+	l := NewLeases(false)
+	l.SetTotal(8)
+	l.Add("a", 1)
+	l.Add("b", 1)
+	if sa, sb := l.Share("a"), l.Share("b"); sa != 4 || sb != 4 {
+		t.Fatalf("equal-weight shares = %d/%d, want 4/4", sa, sb)
+	}
+	l.Add("c", 2)
+	// W=4, total 8: a=2, b=2, c=4.
+	if sa, sb, sc := l.Share("a"), l.Share("b"), l.Share("c"); sa != 2 || sb != 2 || sc != 4 {
+		t.Fatalf("weighted shares = %d/%d/%d, want 2/2/4", sa, sb, sc)
+	}
+	l.Remove("c")
+	if sa := l.Share("a"); sa != 4 {
+		t.Fatalf("share after removal = %d, want 4", sa)
+	}
+	// Shares never drop below 1 even when jobs outnumber slots.
+	l.SetTotal(1)
+	if sa, sb := l.Share("a"), l.Share("b"); sa < 1 || sb < 1 {
+		t.Fatalf("minimum share violated: %d/%d", sa, sb)
+	}
+}
+
+func TestLeaseBorrowAndStarve(t *testing.T) {
+	l := NewLeases(false)
+	l.SetTotal(4)
+	l.Add("a", 1)
+	l.Add("b", 1)
+	// Job a may borrow the whole cluster while b shows no demand.
+	for i := 0; i < 4; i++ {
+		if !l.Acquire("a") {
+			t.Fatalf("work-conserving acquire %d denied", i)
+		}
+	}
+	if l.Running("a") != 4 {
+		t.Fatalf("running(a) = %d, want 4", l.Running("a"))
+	}
+	// b becomes starved: a (over share) may not acquire further...
+	l.SetDemand("b", 3)
+	if l.Acquire("a") {
+		t.Fatal("over-share acquire allowed with starved neighbor")
+	}
+	// ...but b itself may.
+	if !l.Acquire("b") {
+		t.Fatal("starved job denied its own share")
+	}
+	// a's clone budget collapses to zero; b — with no starved neighbor of
+	// its own — keeps the full free-slot budget (work conservation).
+	if g := l.CloneBudget("a", 3); g != 0 {
+		t.Fatalf("clone budget(a) = %d, want 0", g)
+	}
+	if g := l.CloneBudget("b", 3); g != 3 {
+		t.Fatalf("clone budget(b) = %d, want 3", g)
+	}
+	// Preemption plan: b is short one slot, a is two over share.
+	plan := l.Plan()
+	if plan["a"] != 1 {
+		t.Fatalf("plan = %v, want a:1", plan)
+	}
+	// Releases drain a back to its share; no more preemption needed.
+	l.Release("a")
+	l.Release("a")
+	l.SetDemand("b", 0)
+	if plan := l.Plan(); len(plan) != 0 {
+		t.Fatalf("plan with no demand = %v, want empty", plan)
+	}
+}
+
+func TestLeaseDisabledPassThrough(t *testing.T) {
+	l := NewLeases(true)
+	l.SetTotal(2)
+	l.Add("a", 1)
+	l.Add("b", 1)
+	l.SetDemand("b", 10)
+	for i := 0; i < 5; i++ {
+		if !l.Acquire("a") {
+			t.Fatal("disabled leases must never gate claims")
+		}
+	}
+	if plan := l.Plan(); plan != nil {
+		t.Fatalf("disabled leases must not preempt: %v", plan)
+	}
+	if g := l.CloneBudget("a", 7); g != 7 {
+		t.Fatalf("disabled clone budget = %d, want 7", g)
+	}
+}
+
+func TestLeasePlanDeficitCappedByDemand(t *testing.T) {
+	l := NewLeases(false)
+	l.SetTotal(8)
+	l.Add("a", 1)
+	l.Add("b", 1)
+	for i := 0; i < 8; i++ {
+		l.Acquire("a")
+	}
+	// b wants only one slot although its share is 4: yield just one.
+	l.SetDemand("b", 1)
+	if plan := l.Plan(); plan["a"] != 1 {
+		t.Fatalf("plan = %v, want a:1 (deficit capped by demand)", plan)
+	}
+}

@@ -14,6 +14,7 @@ package storage
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/sketch"
@@ -160,6 +161,8 @@ func (n *Node) Handle(req *transport.Request) *transport.Response {
 		return n.handleDiscard(req)
 	case transport.OpDelete:
 		return n.handleDelete(req)
+	case transport.OpDeletePrefix:
+		return n.handleDeletePrefix(req)
 	case transport.OpRename:
 		return n.handleRename(req)
 	case transport.OpReadAt:
@@ -322,6 +325,42 @@ func (n *Node) handleDelete(req *transport.Request) *transport.Response {
 	defer bs.mu.Unlock()
 	if err := bs.b.destroy(); err != nil {
 		return errResp(err)
+	}
+	return &transport.Response{Status: transport.StatusOK}
+}
+
+// handleDeletePrefix garbage collects every bag whose name starts with
+// req.Bag, and drops matching shuffle-edge sketch state. The scheduler
+// discards a completed job's namespace with one request per node, which
+// also covers runtime-derived names (sub-partitions, isolated-key bags,
+// clone partials) no client-side enumeration could produce.
+func (n *Node) handleDeletePrefix(req *transport.Request) *transport.Response {
+	if req.Bag == "" {
+		return errResp(fmt.Errorf("storage: refusing to delete the empty prefix"))
+	}
+	n.mu.Lock()
+	var victims []*bagState
+	for name, bs := range n.bags {
+		if strings.HasPrefix(name, req.Bag) {
+			victims = append(victims, bs)
+			delete(n.bags, name)
+		}
+	}
+	n.mu.Unlock()
+	n.sketchMu.Lock()
+	for edge := range n.sketches {
+		if strings.HasPrefix(edge, req.Bag) {
+			delete(n.sketches, edge)
+		}
+	}
+	n.sketchMu.Unlock()
+	for _, bs := range victims {
+		bs.mu.Lock()
+		err := bs.b.destroy()
+		bs.mu.Unlock()
+		if err != nil {
+			return errResp(err)
+		}
 	}
 	return &transport.Response{Status: transport.StatusOK}
 }

@@ -405,3 +405,41 @@ func TestNodeSketchPushFetch(t *testing.T) {
 		t.Fatalf("state survived clear: %v", st.Counts)
 	}
 }
+
+func TestNodeDeletePrefix(t *testing.T) {
+	n := NewNode("s0")
+	for _, b := range []string{"j1/in#0", "j1/out~p0@e0#2", "j1/gb.shuf.p3.s1#0", "j2/in#0", "other#1"} {
+		insert(t, n, b, []byte{1})
+	}
+	// Sketch state under the prefix is dropped too.
+	st := sketch.NewEdgeStats()
+	blob, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Handle(&transport.Request{Op: transport.OpSketch, Bag: "j1/gb.shuf", Dst: "w0", Data: blob})
+
+	resp := n.Handle(&transport.Request{Op: transport.OpDeletePrefix, Bag: "j1/"})
+	if !resp.OK() {
+		t.Fatalf("delete prefix: %+v", resp)
+	}
+	names := n.BagNames()
+	for _, name := range names {
+		if name != "j2/in#0" && name != "other#1" {
+			t.Fatalf("bag %q survived / was wrongly deleted; remaining %v", name, names)
+		}
+	}
+	if len(names) != 2 {
+		t.Fatalf("remaining bags = %v, want j2/in#0 and other#1", names)
+	}
+	n.sketchMu.Lock()
+	_, sketchAlive := n.sketches["j1/gb.shuf"]
+	n.sketchMu.Unlock()
+	if sketchAlive {
+		t.Fatal("sketch state under deleted prefix survived")
+	}
+	// The empty prefix is refused outright.
+	if resp := n.Handle(&transport.Request{Op: transport.OpDeletePrefix, Bag: ""}); resp.OK() {
+		t.Fatal("empty prefix accepted")
+	}
+}

@@ -44,6 +44,12 @@ const (
 	// Request.Dst carries the producer's worker identifier so repeated
 	// cumulative pushes replace rather than double-count.
 	OpSketch
+	// OpDeletePrefix garbage collects every bag (and every shuffle-edge
+	// sketch) whose name starts with Request.Bag. The multi-job scheduler
+	// uses it to discard a completed job's namespaced bags — work bags,
+	// partition maps, runtime-derived partition bags — without having to
+	// enumerate names it cannot know in advance.
+	OpDeletePrefix
 )
 
 // SketchClear, passed in Request.Arg with a payload-less OpSketch, drops
@@ -55,6 +61,7 @@ var opNames = map[Op]string{
 	OpSample: "sample", OpRewind: "rewind", OpDiscard: "discard",
 	OpDelete: "delete", OpRename: "rename", OpReadAt: "readAt",
 	OpPing: "ping", OpAdvance: "advance", OpSketch: "sketch",
+	OpDeletePrefix: "deletePrefix",
 }
 
 func (o Op) String() string {
