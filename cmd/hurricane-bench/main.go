@@ -19,6 +19,11 @@
 // "sched" runs the multi-job scheduler co-run benchmark on the real
 // engine — a skewed and a uniform groupby sharing one cluster, with and
 // without fair-share slot leasing — and writes BENCH_sched.json.
+//
+// "stream" runs the continuous-ingestion benchmark on the real engine — a
+// drifting Zipf click-log source cut into event-time windows, with
+// warm-started versus cold-started partition maps — and writes
+// BENCH_stream.json.
 package main
 
 import (
@@ -89,6 +94,8 @@ func run(name string) error {
 		return engineClickLog()
 	case "sched":
 		return schedBench()
+	case "stream":
+		return streamBench()
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

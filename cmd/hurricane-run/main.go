@@ -14,6 +14,14 @@
 // hot-partition splits then run against the remote storage tier over
 // TCP); results are verified against an in-process oracle.
 //
+// Streaming mode: with -stream the process runs the continuous-ingestion
+// subsystem against the remote storage tier — a drifting Zipf click-log
+// source cut into event-time windows (-windows), each executed as a DAG
+// job whose partitioned edges are warm-started from the previous window's
+// skew memory. Every window is verified against ground truth:
+//
+//	hurricane-run -storage ... -stream -records 160000 -windows 8 -skew 1.3
+//
 // Scheduler service mode: with -serve the process runs the multi-job
 // scheduler against the remote storage tier and executes every job
 // submitted through the "sched!submit" control bag — concurrently, with
@@ -51,7 +59,9 @@ func main() {
 	skew := flag.Float64("skew", 1.0, "zipf skew s")
 	computes := flag.Int("computes", 4, "compute nodes in this process")
 	slots := flag.Int("slots", 2, "worker slots per compute node")
-	parts := flag.Int("parts", 4, "groupby: base shuffle partitions")
+	parts := flag.Int("parts", 4, "groupby/stream: base shuffle partitions")
+	streamMode := flag.Bool("stream", false, "continuous ingestion: run a drifting Zipf click-log stream as event-time windows against the remote storage tier")
+	windows := flag.Int("windows", 8, "-stream: number of event-time windows")
 	serveMode := flag.Bool("serve", false, "run the multi-job scheduler service: execute jobs submitted via the sched!submit bag")
 	submitMode := flag.Bool("submit", false, "submit a job to a -serve process and wait for its result")
 	name := flag.String("name", "", "-submit: unique job name (also its bag namespace)")
@@ -112,6 +122,11 @@ func main() {
 		if err := submitAndWait(ctx, store, req); err != nil {
 			log.Fatal(err)
 		}
+		return
+	}
+
+	if *streamMode {
+		runStream(ctx, store, names, *records, *windows, *skew, *computes, *slots, *parts)
 		return
 	}
 

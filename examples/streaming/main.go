@@ -1,151 +1,38 @@
-// Streaming: pipelined execution — the dataflow model the paper leaves as
-// future work for streaming workloads (§3.1).
+// Streaming: Hurricane's two answers to the dataflow model the paper
+// leaves as future work for streaming workloads (§3.1).
 //
-// A producer parses a click log while a Pipelined aggregator consumes its
-// output concurrently, maintaining running per-region counts with a
-// count-min sketch. The consumer starts as soon as the producer is
-// scheduled and chases its output bag chunk-by-chunk; phase barriers are
-// gone.
+//	go run ./examples/streaming                  # windowed (default)
+//	go run ./examples/streaming -mode pipelined  # chunk-chasing pipeline
 //
-// Run with: go run ./examples/streaming
+// Windowed mode demos the real continuous-ingestion subsystem
+// (internal/stream): an unbounded click source is cut into event-time
+// tumbling windows, each executed as a complete DAG job with a
+// region-partitioned shuffle edge — and cross-window skew memory
+// warm-starts every window's partition map from its predecessor's final
+// map and merged edge sketch, so the hot region is pre-isolated instead
+// of rediscovered each window.
+//
+// Pipelined mode keeps the original demo: a Pipelined consumer chases the
+// producer's output bag chunk-by-chunk, starting before the producer
+// finishes. Pipelined tasks cannot consume partitioned edges (the
+// documented pipelined ≠ partitioned limitation); the windowed path is
+// how streaming workloads get the skew-aware shuffle.
 package main
 
 import (
-	"context"
-	"encoding/binary"
-	"fmt"
+	"flag"
 	"log"
-	"sync/atomic"
-	"time"
-
-	"repro/hurricane"
-	"repro/internal/workload"
 )
 
 func main() {
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
-	defer cancel()
-
-	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
-		StorageNodes: 4,
-		ComputeNodes: 4,
-		SlotsPerNode: 2,
-		ChunkSize:    64 << 10,
-	})
-	if err != nil {
-		log.Fatal(err)
+	mode := flag.String("mode", "windowed", "windowed | pipelined")
+	flag.Parse()
+	switch *mode {
+	case "windowed":
+		runWindowed()
+	case "pipelined":
+		runPipelined()
+	default:
+		log.Fatalf("unknown -mode %q (want windowed or pipelined)", *mode)
 	}
-	defer cluster.Shutdown()
-
-	var producerDone, consumerStart atomic.Int64
-
-	const regions = 16
-	app := hurricane.NewApp("streaming")
-	app.SourceBag("clicks").Bag("regions").Bag("sketch")
-
-	// Stage 1: geolocate clicks into (region, ip) records.
-	app.AddTask(hurricane.TaskSpec{
-		Name:    "geolocate",
-		Inputs:  []string{"clicks"},
-		Outputs: []string{"regions"},
-		Run: func(tc *hurricane.TaskCtx) error {
-			codec := hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of)
-			w := hurricane.NewWriter(tc, 0, codec)
-			i := 0
-			err := hurricane.ForEach(tc, 0, hurricane.Uint64Of, func(ip uint64) error {
-				r := workload.Geolocate(uint32(ip)) % regions
-				// A dash of work keeps the producer running long enough
-				// for the overlap to be visible.
-				if i++; i%512 == 0 {
-					time.Sleep(2 * time.Millisecond)
-				}
-				return w.Write(hurricane.Pair[uint64, uint64]{First: uint64(r), Second: ip})
-			})
-			producerDone.Store(time.Now().UnixNano())
-			return err
-		},
-	})
-
-	// Stage 2 (PIPELINED): stream the region records as they appear,
-	// folding them into a count-min sketch of per-region click volumes.
-	app.AddTask(hurricane.TaskSpec{
-		Name:      "aggregate",
-		Inputs:    []string{"regions"},
-		Outputs:   []string{"sketch"},
-		Pipelined: true,
-		Merge:     hurricane.MergeCountMin(),
-		Run: func(tc *hurricane.TaskCtx) error {
-			codec := hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of)
-			cm := hurricane.NewCountMin(1<<12, 4)
-			first := true
-			if err := hurricane.ForEach(tc, 0, codec, func(p hurricane.Pair[uint64, uint64]) error {
-				if first {
-					consumerStart.Store(time.Now().UnixNano())
-					first = false
-				}
-				var key [8]byte
-				binary.LittleEndian.PutUint64(key[:], p.First)
-				cm.Add(key[:], 1)
-				return nil
-			}); err != nil {
-				return err
-			}
-			return hurricane.NewWriter(tc, 0, hurricane.BytesOf).Write(cm.Encode())
-		},
-	})
-
-	const records = 60000
-	gen := workload.ClickLogGen{S: 1.0, Regions: regions, UniquePerRegion: 4096, Seed: 12}
-	ips := gen.Generate(records)
-	vals := make([]uint64, len(ips))
-	truth := make([]uint64, regions)
-	for i, ip := range ips {
-		vals[i] = uint64(ip)
-		truth[workload.Geolocate(ip)%regions]++
-	}
-	store := cluster.Store()
-	if err := hurricane.Load(ctx, store, "clicks", hurricane.Uint64Of, vals); err != nil {
-		log.Fatal(err)
-	}
-	if err := hurricane.Seal(ctx, store, "clicks"); err != nil {
-		log.Fatal(err)
-	}
-
-	start := time.Now()
-	if err := cluster.Run(ctx, app); err != nil {
-		log.Fatal(err)
-	}
-	elapsed := time.Since(start)
-
-	recs, err := hurricane.Collect(ctx, store, "sketch", hurricane.BytesOf)
-	if err != nil || len(recs) != 1 {
-		log.Fatalf("collect sketch: %v (%d records)", err, len(recs))
-	}
-	cm, err := hurricane.DecodeCountMin(recs[0])
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	overlap := producerDone.Load() - consumerStart.Load()
-	fmt.Printf("pipelined run finished in %v\n", elapsed)
-	if consumerStart.Load() > 0 && overlap > 0 {
-		fmt.Printf("consumer started %.1fms BEFORE the producer finished (streaming!)\n",
-			float64(overlap)/1e6)
-	}
-	fmt.Printf("\n%-10s %12s %12s\n", "region", "sketch", "truth")
-	bad := 0
-	for r := 0; r < regions; r++ {
-		var key [8]byte
-		binary.LittleEndian.PutUint64(key[:], uint64(r))
-		est := cm.Estimate(key[:])
-		ok := est >= truth[r] // count-min never undercounts
-		if !ok {
-			bad++
-		}
-		fmt.Printf("%-10s %12d %12d\n", workload.RegionName(r), est, truth[r])
-	}
-	if bad > 0 {
-		log.Fatalf("%d regions undercounted — count-min invariant broken", bad)
-	}
-	fmt.Println("\nall regions within count-min bounds")
 }

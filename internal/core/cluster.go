@@ -340,6 +340,15 @@ func (c *Cluster) Shutdown() {
 	c.poolCancel()
 }
 
+// PoolDone returns a channel closed when the cluster has been shut down
+// (compute pool and scheduler cancelled). Long-running drivers layered on
+// the cluster — the streaming subsystem's ingestion pump, window
+// watchers — select on it so a Shutdown issued mid-stream unblocks them
+// instead of deadlocking: a stopped master never closes its job's Done
+// channel (stop is deliberate; a successor could still replay the work
+// bags), so waiting on a job alone would hang forever.
+func (c *Cluster) PoolDone() <-chan struct{} { return c.poolCtx.Done() }
+
 // ---- elasticity and fault injection ----
 
 // AddComputeNode adds a compute node mid-run (§3.4); it joins the shared

@@ -215,13 +215,27 @@ func (a *App) Validate() error {
 			}
 			if a.partitioned(b) {
 				// A partitioned consumer's workers each own one physical
-				// partition; mixing in other consumed inputs or pipelined
-				// streaming would break the worker↔partition assignment.
+				// partition; mixing in other consumed inputs would break
+				// the worker↔partition assignment.
 				if len(t.Inputs) != 1 {
 					return fmt.Errorf("core: task %q consumes partitioned bag %q alongside other inputs", name, b)
 				}
+				// DOCUMENTED LIMITATION — pipelined ≠ partitioned. A
+				// pipelined consumer starts while its producers still run,
+				// but a partitioned consumer's worker set is fixed at
+				// schedule time from the edge's partition map, and the map
+				// only stops changing when the producers finish: starting
+				// early would freeze the map mid-refinement and leave
+				// later splits/isolations with no assigned consumer. The
+				// supported way to stream over partitioned edges is the
+				// windowed path (internal/stream): the unbounded input is
+				// cut into event-time windows, each executed as a complete
+				// DAG job whose edges partition, split, and isolate
+				// normally — and cross-window skew memory carries the
+				// learned partition maps between windows, which pipelining
+				// could not do at all.
 				if t.Pipelined {
-					return fmt.Errorf("core: task %q: pipelined consumption of partitioned bag %q is unsupported", name, b)
+					return fmt.Errorf("core: task %q: pipelined consumption of partitioned bag %q is unsupported; use the windowed streaming path (internal/stream)", name, b)
 				}
 			}
 			a.consumers[b] = append(a.consumers[b], name)

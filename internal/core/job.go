@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bag"
 	"repro/internal/sched"
 	"repro/internal/shuffle"
 )
@@ -127,6 +128,12 @@ func (h *JobHandle) Stats() JobStats {
 	return js
 }
 
+// Master returns the job's current application master (nil while the job
+// is queued). After completion it still holds the final masters' state —
+// the streaming subsystem reads EdgeMemory from it to warm-start the next
+// window.
+func (h *JobHandle) Master() *Master { return h.currentMaster() }
+
 // currentMaster returns the job's master (nil while queued).
 func (h *JobHandle) currentMaster() *Master {
 	h.mu.Lock()
@@ -161,6 +168,16 @@ func (h *JobHandle) Discard(ctx context.Context) error {
 	if state == sched.StateQueued || state == sched.StateRunning {
 		return fmt.Errorf("core: job %q is %s; discard after completion", h.id, state)
 	}
+	// After Reset the job's name (and namespace) may be owned by a live
+	// successor — the streaming subsystem's window retry. A stale handle's
+	// Discard would wipe that successor's bags mid-run and release its
+	// claims; only the currently registered handle may destroy the name.
+	h.c.mu.Lock()
+	cur := h.c.jobs[h.id]
+	h.c.mu.Unlock()
+	if cur != h {
+		return fmt.Errorf("core: job %q handle is stale (name released or reclaimed); discard through the live handle", h.id)
+	}
 	store := h.c.store
 	if h.prefix != "" {
 		// Everything the job ever touched lives under its namespace —
@@ -170,41 +187,14 @@ func (h *JobHandle) Discard(ctx context.Context) error {
 		}
 	} else {
 		for _, b := range h.app.Bags() {
-			if err := store.Delete(ctx, b); err != nil {
-				return err
-			}
-			if h.app.BagSpecFor(b).Partitions > 0 {
-				if err := store.DeletePrefix(ctx, b+".p"); err != nil {
-					return err
-				}
-				if err := store.DeletePrefix(ctx, b+".h"); err != nil {
-					return err
-				}
-				if err := store.Delete(ctx, shuffle.PMapBag(b)); err != nil {
-					return err
-				}
-				// Edge sketches are keyed by the logical bag name, which
-				// plain Delete does not touch; left behind they would seed
-				// a name-reusing successor job with this job's cumulative
-				// producer statistics.
-				if err := store.DeleteSketch(ctx, b); err != nil {
+			if h.app.BagSpecFor(b).Source {
+				if err := store.Delete(ctx, b); err != nil {
 					return err
 				}
 			}
 		}
-		for _, t := range h.app.Tasks() {
-			spec := h.app.Task(t)
-			if spec.requiresMerge() {
-				if err := store.DeletePrefix(ctx, spec.Outputs[0]+"~p"); err != nil {
-					return err
-				}
-			}
-		}
-		wb := newWorkBags(store, h.app.Name())
-		for _, n := range []string{wb.readyName(), wb.runningName(), wb.doneName()} {
-			if err := store.Delete(ctx, n); err != nil {
-				return err
-			}
+		if err := scrubDerivedBags(ctx, store, h.app); err != nil {
+			return err
 		}
 	}
 	h.c.reg.Release(h.id)
@@ -214,6 +204,109 @@ func (h *JobHandle) Discard(ctx context.Context) error {
 		h.c.primary = nil
 	}
 	h.c.mu.Unlock()
+	return nil
+}
+
+// Reset prepares a completed — typically failed — namespaced job for
+// resubmission under the same name: every bag the job derived is deleted
+// (outputs, partitioned edges with their runtime split/isolation bags and
+// sketches, merge partials, work and control bags), its source bags are
+// rewound so their consumed chunks replay from the start, and the job's
+// registration and name claims are released. The streaming subsystem's
+// window retry is the intended caller: rewinding instead of re-ingesting
+// preserves exactly-once per window without a second copy of the input.
+// The handle is dead afterwards; resubmit the application with SubmitJob.
+// Raw jobs cannot be reset (their sources may be shared), and neither can
+// jobs still queued or running.
+func (h *JobHandle) Reset(ctx context.Context) error {
+	h.mu.Lock()
+	state := h.state
+	h.mu.Unlock()
+	if state == sched.StateQueued || state == sched.StateRunning {
+		return fmt.Errorf("core: job %q is %s; reset after completion", h.id, state)
+	}
+	if h.prefix == "" {
+		return fmt.Errorf("core: job %q is raw (no namespace); reset is only safe for namespaced jobs", h.id)
+	}
+	// Same staleness guard as Discard: after a previous Reset released
+	// the name, a successor may own it — rewinding its in-use sources and
+	// scrubbing its derived bags mid-run would corrupt the live job.
+	h.c.mu.Lock()
+	cur := h.c.jobs[h.id]
+	h.c.mu.Unlock()
+	if cur != h {
+		return fmt.Errorf("core: job %q handle is stale (name released or reclaimed); reset through the live handle", h.id)
+	}
+	store := h.c.store
+	for _, b := range h.app.Bags() {
+		if h.app.BagSpecFor(b).Source {
+			if err := store.Rewind(ctx, b); err != nil {
+				return err
+			}
+		}
+	}
+	if err := scrubDerivedBags(ctx, store, h.app); err != nil {
+		return err
+	}
+	h.c.reg.Release(h.id)
+	h.c.mu.Lock()
+	if h.c.jobs[h.id] == h {
+		delete(h.c.jobs, h.id)
+	}
+	if h.c.primary == h {
+		h.c.primary = nil
+	}
+	h.c.mu.Unlock()
+	return nil
+}
+
+// scrubDerivedBags deletes every bag a job derives from its declared
+// graph: non-source data bags, a partitioned edge's runtime bags
+// (partition splits, isolated heavy-hitter bags, the pmap control bag)
+// and its storage-side sketch state — which plain Delete does not touch
+// and which would otherwise seed a name-reusing successor with this
+// job's cumulative producer statistics — plus merge partials and the
+// work bags. Shared by Discard (which also deletes the source bags) and
+// Reset (which rewinds them instead), so a new kind of runtime-derived
+// bag only has to be added here.
+func scrubDerivedBags(ctx context.Context, store *bag.Store, app *App) error {
+	for _, b := range app.Bags() {
+		spec := app.BagSpecFor(b)
+		if spec.Source {
+			continue
+		}
+		if err := store.Delete(ctx, b); err != nil {
+			return err
+		}
+		if spec.Partitions > 0 {
+			if err := store.DeletePrefix(ctx, b+".p"); err != nil {
+				return err
+			}
+			if err := store.DeletePrefix(ctx, b+".h"); err != nil {
+				return err
+			}
+			if err := store.Delete(ctx, shuffle.PMapBag(b)); err != nil {
+				return err
+			}
+			if err := store.DeleteSketch(ctx, b); err != nil {
+				return err
+			}
+		}
+	}
+	for _, t := range app.Tasks() {
+		spec := app.Task(t)
+		if spec.requiresMerge() {
+			if err := store.DeletePrefix(ctx, spec.Outputs[0]+"~p"); err != nil {
+				return err
+			}
+		}
+	}
+	wb := newWorkBags(store, app.Name())
+	for _, n := range []string{wb.readyName(), wb.runningName(), wb.doneName()} {
+		if err := store.Delete(ctx, n); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -257,6 +257,9 @@ type Master struct {
 
 	hub      *ctrl.Hub
 	policies []ctrl.Policy
+	// wantsStats: some installed policy consumes shuffle-edge sketches, so
+	// the hub fetches them and finishTask captures a final EdgeMemory copy.
+	wantsStats bool
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -339,7 +342,8 @@ func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterCon
 		m.policies = DefaultPolicies(cfg)
 	}
 	hubCfg := ctrl.HubConfig{FetchInterval: cfg.SplitInterval}
-	if wantsEdgeStats(m.policies) && len(m.edges) > 0 {
+	m.wantsStats = wantsEdgeStats(m.policies)
+	if m.wantsStats && len(m.edges) > 0 {
 		hubCfg.FetchStats = func(ctx context.Context, edge string) (*sketch.EdgeStats, error) {
 			return store.FetchSketch(ctx, edge)
 		}
@@ -747,6 +751,18 @@ func (m *Master) controlPass() (int, error) {
 		return 0, nil
 	}
 	snap := m.hub.Snapshot(m.ctx, m.fillSnapshot)
+	// Retain fetched edge sketches as skew memory: the hub only carries
+	// them in the snapshot, but EdgeMemory must outlive the job.
+	for name, tel := range snap.Edges {
+		if tel.Stats == nil {
+			continue
+		}
+		if edge := m.edges[name]; edge != nil {
+			m.mu.Lock()
+			edge.lastStats = tel.Stats
+			m.mu.Unlock()
+		}
+	}
 	actions := ctrl.Evaluate(snap, m.policies)
 	return m.applyActions(actions)
 }
@@ -1236,8 +1252,22 @@ func (m *Master) finishTask(st *taskState) error {
 			}
 		}
 		// A sealed shuffle edge splits no further; its sketch state on
-		// the storage tier has served its purpose.
-		if m.edges[b] != nil {
+		// the storage tier has served its purpose. Capture the final
+		// merged sketch first — short jobs (streaming windows) often seal
+		// before the hub's rate-limited fetch ever ran, and this is the
+		// last chance to learn the edge's key distribution for
+		// EdgeMemory. Best-effort (memory is advisory) and skipped when
+		// no installed policy consumes edge sketches — such jobs never
+		// had sketch-driven mitigation, so batch deployments without it
+		// pay no extra completion-path RPC.
+		if edge := m.edges[b]; edge != nil {
+			if m.wantsStats {
+				if stats, err := m.store.FetchSketch(m.ctx, b); err == nil && stats.Total() > 0 {
+					m.mu.Lock()
+					edge.lastStats = stats
+					m.mu.Unlock()
+				}
+			}
 			if err := m.store.DeleteSketch(m.ctx, b); err != nil {
 				return err
 			}

@@ -107,6 +107,64 @@ func TestTwoConcurrentJobs(t *testing.T) {
 	waitNoLeakedSlots(t, cluster)
 }
 
+// TestResetStaleHandleDiscard: after Reset releases a job's name, a
+// successor may reclaim it; the stale handle's Discard must refuse
+// instead of wiping the live successor's namespace out from under it.
+func TestResetStaleHandleDiscard(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := testClusterConfig()
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	const n = 5000
+	var proc1, proc2 atomic.Int64
+	h1, err := cluster.SubmitJob(ctx, sumApp(&proc1), JobConfig{Name: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIntsBag(t, ctx, cluster.Store(), h1.Bag("in"), n)
+	if err := h1.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Reset releases the name and rewinds the sources; a successor
+	// resubmission reclaims both and must reproduce the exact result.
+	if err := h1.Reset(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := cluster.SubmitJob(ctx, sumApp(&proc2), JobConfig{Name: "w"})
+	if err != nil {
+		t.Fatalf("resubmission after Reset: %v", err)
+	}
+	if err := h2.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(n) * (n - 1) / 2
+	if got := readSumBag(t, ctx, cluster.Store(), h2.Bag("out")); got != want {
+		t.Fatalf("retried job sum = %d, want %d (reset must replay the rewound sources exactly)", got, want)
+	}
+	if proc2.Load() != n {
+		t.Fatalf("retry processed %d records, want exactly %d", proc2.Load(), n)
+	}
+	// The stale handle must not be able to destroy the reclaimed name —
+	// neither by discarding it nor by rewinding/scrubbing it again.
+	if err := h1.Discard(ctx); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale handle Discard: err = %v, want stale-handle refusal", err)
+	}
+	if err := h1.Reset(ctx); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("stale handle Reset: err = %v, want stale-handle refusal", err)
+	}
+	if got := readSumBag(t, ctx, cluster.Store(), h2.Bag("out")); got != want {
+		t.Fatalf("successor output damaged by stale Discard: %d, want %d", got, want)
+	}
+	if err := h2.Discard(ctx); err != nil {
+		t.Fatalf("live handle Discard: %v", err)
+	}
+}
+
 // TestSubmitCollisionValidation: the registry rejects, with a clear
 // error, submissions whose physical bag names could cross-talk with a
 // live job's — including names only derived at runtime.

@@ -8,7 +8,32 @@ import (
 	"repro/internal/chunk"
 	"repro/internal/ctrl"
 	"repro/internal/shuffle"
+	"repro/internal/sketch"
 )
+
+// EdgeMemory is what a finished job remembers about one partitioned
+// shuffle edge: the final partition map (base layout plus every runtime
+// split and isolation) and the last merged producer sketch. The streaming
+// subsystem feeds a window's EdgeMemory into shuffle.WarmStart to seed
+// the next window's partitioner, so known-hot keys are pre-split or
+// pre-isolated instead of rediscovered from scratch each window.
+type EdgeMemory struct {
+	PMap  *shuffle.PartitionMap
+	Stats *sketch.EdgeStats
+}
+
+// EdgeMemory snapshots the master's per-edge skew memory, keyed by the
+// (namespaced) logical bag name. Valid at any time; most useful after the
+// job completes, when every edge's map is final.
+func (m *Master) EdgeMemory() map[string]EdgeMemory {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]EdgeMemory, len(m.edges))
+	for name, e := range m.edges {
+		out[name] = EdgeMemory{PMap: e.pmap, Stats: e.lastStats}
+	}
+	return out
+}
 
 // shuffleEdge is the master's state for one partitioned shuffle bag: the
 // current partition map, a scanner over the edge's published-map bag (so a
@@ -25,6 +50,14 @@ type shuffleEdge struct {
 	consumer  string // consuming task name, or ""
 
 	splitTried map[string]bool // leaves that cannot be refined further
+
+	// lastStats is the most recent merged producer sketch observed for the
+	// edge (refreshed from control-plane fetches and captured one final
+	// time when the edge seals, just before its storage-side sketch state
+	// is deleted). It survives job completion so Master.EdgeMemory can hand
+	// it to a successor — the streaming subsystem's cross-window skew
+	// memory. Guarded by m.mu.
+	lastStats *sketch.EdgeStats
 }
 
 // newShuffleEdges builds edge state for every partitioned bag of the app.

@@ -152,6 +152,13 @@ type ClickLogGen struct {
 	UniquePerRegion int
 	// Seed seeds the generator.
 	Seed int64
+	// DriftEvery, when > 0, makes the hot region migrate over time: after
+	// every DriftEvery records the zipf rank→region assignment rotates by
+	// one, so the region that was hottest hands the role to its
+	// neighbor. Streaming benchmarks use it to exercise *changing* skew —
+	// a workload where yesterday's partition map is mostly, but not
+	// entirely, right for today. 0 disables drift (stationary skew).
+	DriftEvery int
 }
 
 func (g *ClickLogGen) regions() int {
@@ -164,21 +171,52 @@ func (g *ClickLogGen) regions() int {
 // Generate produces n click IPs. Region r owns the IP range with high
 // bits r, so Geolocate inverts the assignment exactly.
 func (g *ClickLogGen) Generate(n int) []uint32 {
-	sampler := NewSampler(RegionWeights(g.regions(), g.S), g.Seed)
-	rng := rand.New(rand.NewSource(g.Seed + 1))
-	low := uint32(1)<<(32-RegionBits) - 1 // mask of low bits
+	it := g.Iter()
 	out := make([]uint32, n)
 	for i := range out {
-		r := sampler.Next()
-		var host uint32
-		if g.UniquePerRegion > 0 {
-			host = uint32(rng.Intn(g.UniquePerRegion))
-		} else {
-			host = rng.Uint32() & low
-		}
-		out[i] = uint32(r)<<(32-RegionBits) | (host & low)
+		out[i] = it.Next()
 	}
 	return out
+}
+
+// ClickIter is a sequential click-log generator — the streaming form of
+// Generate. The i-th call to Next returns exactly Generate(n)[i] for any
+// n > i, so batch and streaming consumers of one configuration see the
+// same log.
+type ClickIter struct {
+	g       ClickLogGen
+	sampler *Sampler
+	rng     *rand.Rand
+	regions int
+	low     uint32
+	i       int
+}
+
+// Iter returns a fresh sequential generator for the configuration.
+func (g *ClickLogGen) Iter() *ClickIter {
+	return &ClickIter{
+		g:       *g,
+		sampler: NewSampler(RegionWeights(g.regions(), g.S), g.Seed),
+		rng:     rand.New(rand.NewSource(g.Seed + 1)),
+		regions: g.regions(),
+		low:     uint32(1)<<(32-RegionBits) - 1, // mask of low bits
+	}
+}
+
+// Next draws the next click IP.
+func (it *ClickIter) Next() uint32 {
+	r := it.sampler.Next()
+	if it.g.DriftEvery > 0 {
+		r = (r + it.i/it.g.DriftEvery) % it.regions
+	}
+	var host uint32
+	if it.g.UniquePerRegion > 0 {
+		host = uint32(it.rng.Intn(it.g.UniquePerRegion))
+	} else {
+		host = it.rng.Uint32() & it.low
+	}
+	it.i++
+	return uint32(r)<<(32-RegionBits) | (host & it.low)
 }
 
 // DistinctPerRegion computes the ground-truth distinct IP count per

@@ -110,6 +110,56 @@ func TestDistinctPerRegionBounded(t *testing.T) {
 	}
 }
 
+// TestClickLogDrift checks the drifted distribution: with DriftEvery set,
+// the hot region migrates — segment k of the log is hottest at region
+// (0 + k) — while the undrifted generator keeps region 0 hottest
+// throughout. It also pins Iter to Generate.
+func TestClickLogDrift(t *testing.T) {
+	const per = 8000
+	gen := ClickLogGen{S: 1.3, Regions: 16, Seed: 7, DriftEvery: per}
+	ips := gen.Generate(4 * per)
+
+	hottest := func(seg []uint32) int {
+		counts := CountPerRegion(seg, 16)
+		best := 0
+		for r, c := range counts {
+			if c > counts[best] {
+				best = r
+			}
+		}
+		return best
+	}
+	for k := 0; k < 4; k++ {
+		seg := ips[k*per : (k+1)*per]
+		if got := hottest(seg); got != k {
+			t.Fatalf("segment %d: hottest region %d, want %d (hot region must migrate)", k, got, k)
+		}
+		// Zipf(1.3) concentrates ≈38%% of a 16-region stream on rank 0;
+		// require a clear majority signal, not just argmax noise.
+		counts := CountPerRegion(seg, 16)
+		if frac := float64(counts[k]) / per; frac < 0.25 {
+			t.Fatalf("segment %d: hot region holds %.2f of records, want ≥0.25", k, frac)
+		}
+	}
+
+	// Stationary control: same config without drift stays hot at region 0.
+	still := ClickLogGen{S: 1.3, Regions: 16, Seed: 7}
+	sips := still.Generate(4 * per)
+	for k := 0; k < 4; k++ {
+		if got := hottest(sips[k*per : (k+1)*per]); got != 0 {
+			t.Fatalf("undrifted segment %d: hottest region %d, want 0", k, got)
+		}
+	}
+
+	// Iter must reproduce Generate element-wise.
+	it := gen.Iter()
+	for i, want := range ips[:1000] {
+		if got := it.Next(); got != want {
+			t.Fatalf("Iter diverges from Generate at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
 func TestClickLogDeterministic(t *testing.T) {
 	g1 := ClickLogGen{S: 0.5, Seed: 99}
 	g2 := ClickLogGen{S: 0.5, Seed: 99}
