@@ -24,12 +24,20 @@
 // drifting Zipf click-log source cut into event-time windows, with
 // warm-started versus cold-started partition maps — and writes
 // BENCH_stream.json.
+//
+// "plan" runs the query-planner benchmark on the real engine — one
+// logical join compiled naively (static hash repartition) versus with
+// statistics-driven physical planning (skewed join with pre-isolated
+// heavy-hitter keys) on Zipf(1.3) probe keys — and writes
+// BENCH_plan.json.
 package main
 
 import (
 	"context"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -90,16 +98,34 @@ func run(name string) error {
 		fmt.Print(experiments.FormatScaling(experiments.StorageScaling()))
 	case "utilization":
 		fmt.Print(experiments.FormatUtilization(experiments.BatchUtilization(32), 32))
-	case "engine-clicklog":
-		return engineClickLog()
-	case "sched":
-		return schedBench()
-	case "stream":
-		return streamBench()
 	default:
-		return fmt.Errorf("unknown experiment %q", name)
+		if bench := engineBenches[name]; bench != nil {
+			return bench()
+		}
+		return fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(validExperiments(), " "))
 	}
 	return nil
+}
+
+// engineBenches dispatches the real-engine benchmarks (everything that is
+// not a simulator experiment). One map feeds both dispatch and the
+// valid-name listing, so the two cannot drift.
+var engineBenches = map[string]func() error{
+	"engine-clicklog": engineClickLog,
+	"sched":           schedBench,
+	"stream":          streamBench,
+	"plan":            planBench,
+}
+
+// validExperiments lists every runnable experiment name for error
+// messages and usage output (fig7/fig8 are accepted aliases of fig78).
+func validExperiments() []string {
+	out := append(append([]string{}, all...), "fig7", "fig8")
+	for name := range engineBenches {
+		out = append(out, name)
+	}
+	sort.Strings(out[len(all)+2:])
+	return out
 }
 
 // engineClickLog runs the skewed ClickLog job on the real embedded engine

@@ -45,18 +45,9 @@ func schedBench() error {
 		recordCost  = 5000  // ns per record in the aggregate stage
 		skewProduce = 15000 // ns per record in the skewed job's shuffle stage
 	)
-	genSkew := workload.RelationGen{Keys: 64, S: 1.3, Seed: 9}
-	genUni := workload.RelationGen{Keys: 64, S: 0.01, Seed: 11}
-	skewTuples := genSkew.Generate(skewRecords)
-	uniTuples := genUni.Generate(uniRecords)
-	oracle := func(ts []workload.Tuple) map[uint64]int64 {
-		m := make(map[uint64]int64)
-		for _, t := range ts {
-			m[t.Key]++
-		}
-		return m
-	}
-	wantSkew, wantUni := oracle(skewTuples), oracle(uniTuples)
+	skewTuples := workload.ZipfTuples(skewRecords, 64, 1.3, 9)
+	uniTuples := workload.ZipfTuples(uniRecords, 64, 0.01, 11)
+	wantSkew, wantUni := workload.KeyCounts(skewTuples), workload.KeyCounts(uniTuples)
 
 	runOnce := func(fair bool) (coRun, error) {
 		var out coRun

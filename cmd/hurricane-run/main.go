@@ -9,10 +9,14 @@
 //	hurricane-run -storage storage-0=127.0.0.1:7070,storage-1=127.0.0.1:7071 \
 //	    -records 200000 -skew 1.0
 //
-// The job (-job) is the paper's ClickLog application or the skew-aware
+// The job (-job) is the paper's ClickLog application, the skew-aware
 // shuffle groupby (whose partitioned bags, producer sketches, and
 // hot-partition splits then run against the remote storage tier over
-// TCP); results are verified against an in-process oracle.
+// TCP), or a planner-compiled query (-job query): a declarative join
+// whose physical strategy — broadcast, repartition, or skewed with
+// pre-isolated heavy hitters — is chosen from warm statistics, with the
+// seed partition map published through the same remote control bags.
+// Results are verified against an in-process oracle.
 //
 // Streaming mode: with -stream the process runs the continuous-ingestion
 // subsystem against the remote storage tier — a drifting Zipf click-log
@@ -54,7 +58,7 @@ import (
 
 func main() {
 	storageFlag := flag.String("storage", "", "comma-separated name=addr storage nodes")
-	job := flag.String("job", "clicklog", "job to run: clicklog | groupby (with -submit: sqsum | groupby)")
+	job := flag.String("job", "clicklog", "job to run: clicklog | groupby | query (with -submit: sqsum | groupby)")
 	records := flag.Int("records", 200000, "records to generate")
 	skew := flag.Float64("skew", 1.0, "zipf skew s")
 	computes := flag.Int("computes", 4, "compute nodes in this process")
@@ -134,9 +138,12 @@ func main() {
 	case "groupby":
 		runGroupBy(ctx, store, names, *records, *skew, *computes, *slots, *parts)
 		return
+	case "query":
+		runQuery(ctx, store, names, *records, *skew, *computes, *slots, *parts)
+		return
 	case "clicklog":
 	default:
-		log.Fatalf("unknown -job %q (want clicklog or groupby)", *job)
+		log.Fatalf("unknown -job %q (valid: clicklog groupby query; with -submit: sqsum groupby)", *job)
 	}
 
 	const regions, hostBits = 16, 12
@@ -190,12 +197,8 @@ func main() {
 func runGroupBy(ctx context.Context, store *bag.Store, names []string, records int, skew float64, computes, slots, parts int) {
 	fmt.Printf("generating %d tuples (s=%.1f), loading onto %d storage nodes...\n",
 		records, skew, len(names))
-	gen := workload.RelationGen{Keys: 64, S: skew, Seed: 9}
-	tuples := gen.Generate(records)
-	want := make(map[uint64]int64)
-	for _, t := range tuples {
-		want[t.Key]++
-	}
+	tuples := workload.ZipfTuples(records, 64, skew, 9)
+	want := workload.KeyCounts(tuples)
 	if err := apps.LoadGroupBy(ctx, store, tuples); err != nil {
 		log.Fatal(err)
 	}

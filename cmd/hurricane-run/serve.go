@@ -246,12 +246,8 @@ func runServedGroupBy(ctx context.Context, cluster *core.Cluster, store *bag.Sto
 	if parts <= 0 {
 		parts = 4
 	}
-	gen := workload.RelationGen{Keys: 64, S: req.Skew, Seed: 9}
-	tuples := gen.Generate(n)
-	want := make(map[uint64]int64)
-	for _, t := range tuples {
-		want[t.Key]++
-	}
+	tuples := workload.ZipfTuples(n, 64, req.Skew, 9)
+	want := workload.KeyCounts(tuples)
 	app := apps.GroupByApp(parts, true, false, 0)
 	spec := app.BagSpecFor(apps.GroupByShuf)
 	spec.SketchEvery, spec.PollEvery = 512, 256

@@ -1,10 +1,14 @@
-// HashJoin: the paper's second workload (§5.3) on the real engine — a
-// partitioned hash join where skewed key popularity inflates some
-// partitions' hit rates.
+// HashJoin: the paper's second workload (§5.3), expressed through the
+// query planner instead of hand-wired stages — roughly a third of the
+// user-facing code the stage-level version needed (that wiring survives
+// as the oracle in internal/apps.HashJoinApp / HashJoinShuffleApp).
 //
-// The build side of each join task is a scan input (every clone reads it
-// in full); the probe side is consumed chunk-by-chunk, so clones split
-// the hot partition's probe work.
+// The program declares WHAT to compute — join R and S on the tuple key —
+// and the planner decides HOW: it consults warm statistics (here, a
+// sketch of the probe relation's keys) and picks broadcast when R is
+// small, a skewed join with pre-isolated heavy hitters when the probe
+// keys are skewed, or plain repartition otherwise; runtime sketch-driven
+// splitting still adapts the edge either way.
 //
 // Run with: go run ./examples/hashjoin [-build N] [-probe N] [-skew S]
 package main
@@ -17,9 +21,13 @@ import (
 	"time"
 
 	"repro/hurricane"
+	"repro/hurricane/q"
 	"repro/internal/apps"
 	"repro/internal/workload"
 )
+
+type tuple = hurricane.Pair[uint64, uint64]
+type match = hurricane.Pair[uint64, hurricane.Pair[uint64, uint64]]
 
 func main() {
 	buildN := flag.Int("build", 20000, "build-relation tuples")
@@ -30,12 +38,17 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	const parts = 8
 	cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
 		StorageNodes: 4,
 		ComputeNodes: 4,
 		SlotsPerNode: 4,
-		Master:       hurricane.MasterConfig{CloneInterval: 20 * time.Millisecond},
+		Master: hurricane.MasterConfig{
+			CloneInterval:   20 * time.Millisecond,
+			SplitInterval:   10 * time.Millisecond,
+			SplitImbalance:  1.5,
+			SplitMinRecords: 8192,
+			SplitFan:        4,
+		},
 		Node: hurricane.NodeConfig{
 			MonitorInterval:   10 * time.Millisecond,
 			OverloadThreshold: 0.5,
@@ -54,22 +67,47 @@ func main() {
 	s := sg.Generate(*probeN)
 	want := workload.JoinCount(r, s)
 
-	if err := apps.LoadRelations(ctx, cluster.Store(), r, s); err != nil {
+	// The whole dataflow: two scans, one join, one sink.
+	p := q.New("hashjoin")
+	build := q.Scan(p, apps.JoinBagR, apps.TupleCodec)
+	probe := q.Scan(p, apps.JoinBagS, apps.TupleCodec)
+	q.Join(build, probe,
+		func(t tuple) uint64 { return t.First },
+		func(t tuple) uint64 { return t.First },
+		apps.MatchCodec,
+		func(b, pr tuple, emit func(match) error) error {
+			return emit(match{First: pr.First,
+				Second: hurricane.Pair[uint64, uint64]{First: b.Second, Second: pr.Second}})
+		},
+	).Sink("matches")
+
+	// Warm statistics: build-side size plus the probe key distribution
+	// (what a previous run's edge sketch would have recorded).
+	c, err := p.Compile(q.Options{Parts: 8, Stats: apps.JoinWarmStats(r, s)})
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Print(c.Explain())
+
+	store := cluster.Store()
+	if err := apps.LoadRelations(ctx, store, r, s); err != nil {
+		log.Fatal(err)
+	}
+
 	start := time.Now()
-	if err := cluster.Run(ctx, apps.HashJoinApp(parts, false)); err != nil {
+	if err := c.Run(ctx, cluster); err != nil {
 		log.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	got, err := apps.JoinResultCount(ctx, cluster.Store(), parts)
+	got, err := hurricane.Collect(ctx, store, c.SinkBag("matches"), apps.MatchCodec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("join produced %d matches (expected %d) in %v\n", got, want, elapsed)
+	fmt.Printf("join (%s) produced %d matches (expected %d) in %v\n",
+		c.Joins[0].Strategy, len(got), want, elapsed)
 	fmt.Printf("master stats: %+v\n", cluster.Master().Stats())
-	if got != want {
+	if int64(len(got)) != want {
 		log.Fatal("WRONG RESULT")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/bits"
 
+	"repro/internal/core"
 	"repro/internal/sketch"
 )
 
@@ -32,6 +33,41 @@ func NewCountMin(width, depth int) *CountMin { return sketch.NewCountMin(width, 
 
 // DecodeCountMin parses an encoded sketch.
 func DecodeCountMin(data []byte) (*CountMin, error) { return sketch.DecodeCountMin(data) }
+
+// ---- edge statistics (the shuffle's and the planner's skew signal) ----
+
+// EdgeStats aggregates what producers know about one shuffle edge:
+// per-partition record counts, a count-min sketch of the routed keys, and
+// a capped heavy-hitter candidate list. Extract heavy hitters with
+// EdgeStats.TopKeys(k, minFraction) — the first-class helper shared by
+// the query planner's skewed-join decision, warm-start seeding, and the
+// runtime isolation policy — instead of re-deriving them from raw
+// CountMin estimates.
+type EdgeStats = sketch.EdgeStats
+
+// HeavyKey is one heavy-hitter candidate with its observed count.
+type HeavyKey = sketch.HeavyKey
+
+// StatsBuilder accumulates exact per-key counts into an EdgeStats — the
+// offline way to build warm statistics for the query planner from a
+// sample or a generator's known distribution.
+type StatsBuilder = sketch.StatsBuilder
+
+// NewEdgeStats returns empty edge statistics with a default-dimension
+// sketch.
+func NewEdgeStats() *EdgeStats { return sketch.NewEdgeStats() }
+
+// NewStatsBuilder returns an empty offline statistics builder.
+func NewStatsBuilder() *StatsBuilder { return sketch.NewStatsBuilder() }
+
+// DecodeEdgeStats parses an encoded edge-statistics record.
+func DecodeEdgeStats(data []byte) (*EdgeStats, error) { return sketch.DecodeEdgeStats(data) }
+
+// EdgeMemory is what a finished job remembers about one partitioned
+// shuffle edge (final partition map + last merged sketch). Read it from
+// Master.EdgeMemory and feed it to the streaming subsystem's warm start
+// or the query planner's StatsFromMemory.
+type EdgeMemory = core.EdgeMemory
 
 // MergeCountMin returns a merge procedure combining clone count-min
 // partials cell-wise into a single sketch record.

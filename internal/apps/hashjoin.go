@@ -23,12 +23,19 @@ func JoinPartS(p int) string { return fmt.Sprintf("s.p%d", p) }
 // JoinOut names the join output bag for partition p.
 func JoinOut(p int) string { return fmt.Sprintf("join.p%d", p) }
 
-// tupleCodec encodes relation tuples as (key, payload) pairs.
-var tupleCodec = hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of)
+// TupleCodec encodes relation tuples as (key, payload) pairs — the wire
+// form of workload.Tuple, shared by the CLIs and examples.
+var TupleCodec = hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of)
 
-// matchCodec encodes join matches as (key, (payloadR, payloadS)).
-var matchCodec = hurricane.PairOf(hurricane.Uint64Of,
+// MatchCodec encodes join matches as (key, (payloadR, payloadS)).
+var MatchCodec = hurricane.PairOf(hurricane.Uint64Of,
 	hurricane.PairOf(hurricane.Uint64Of, hurricane.Uint64Of))
+
+// Unexported aliases keep the package-internal call sites short.
+var (
+	tupleCodec = TupleCodec
+	matchCodec = MatchCodec
+)
 
 // Tuple mirrors workload.Tuple on the wire.
 type joinPair = hurricane.Pair[uint64, uint64]

@@ -277,7 +277,16 @@ func (c *Cluster) totalSlotsLocked() int {
 // beforehand. Unlike the single-job engine this no longer excludes other
 // jobs: SubmitJob may run further jobs alongside it.
 func (c *Cluster) Start(ctx context.Context, app *App) error {
-	h, err := c.SubmitJob(ctx, app, JobConfig{Raw: true, Retain: true})
+	return c.StartWith(ctx, app, JobConfig{})
+}
+
+// StartWith is Start with an explicit job configuration — the query
+// planner uses it to carry seed partition maps into the submission.
+// Raw and Retain are forced: the primary job keeps the paper's flat
+// naming and retained work bags regardless of cfg.
+func (c *Cluster) StartWith(ctx context.Context, app *App, cfg JobConfig) error {
+	cfg.Raw, cfg.Retain = true, true
+	h, err := c.SubmitJob(ctx, app, cfg)
 	if err != nil {
 		return err
 	}

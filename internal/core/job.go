@@ -43,6 +43,15 @@ type JobConfig struct {
 	// uses the cluster default). This is how co-running jobs get
 	// different mitigation policies.
 	Master *MasterConfig
+	// Seeds are warm-start partition maps for the job's partitioned
+	// edges, keyed by declared bag name (the query planner's compile-time
+	// skew memory). They are published into the job's (namespaced) edge
+	// control bags after admission but before the job's master starts, so
+	// producers can never observe an unseeded edge — and a rejected
+	// submission never writes into a namespace it was not granted.
+	// Publishing is best-effort: a failed seed costs a cold start, not
+	// the job.
+	Seeds map[string]*shuffle.PartitionMap
 }
 
 // JobStats reports a job's scheduling state and its master's activity.
@@ -455,7 +464,10 @@ func (c *Cluster) SubmitJob(ctx context.Context, app *App, cfg JobConfig) (*JobH
 }
 
 // startJobLocked moves an admitted job into execution: build its master
-// behind a job-scoped control adapter, bind it to every compute node,
+// behind a job-scoped control adapter (handing it the job's seed
+// partition maps, which the master publishes from its own goroutine
+// before its first scheduling pass — a blocking storage write under
+// c.mu could wedge the whole scheduler), bind it to every compute node,
 // and begin supervision. Caller holds c.mu.
 func (c *Cluster) startJobLocked(ctx context.Context, h *JobHandle) {
 	c.ensurePoolLocked()
@@ -464,6 +476,12 @@ func (c *Cluster) startJobLocked(ctx context.Context, h *JobHandle) {
 		mcfg = *h.cfg.Master
 	}
 	mcfg.Job = h.id
+	if len(h.cfg.Seeds) > 0 {
+		mcfg.Seeds = make(map[string]*shuffle.PartitionMap, len(h.cfg.Seeds))
+		for name, seed := range h.cfg.Seeds {
+			mcfg.Seeds[h.Bag(name)] = seed
+		}
+	}
 	m := NewMaster(h.app, c.store, &jobControl{c: c, job: h.id}, mcfg)
 	c.leases.Add(h.id, c.reg.Weight(h.id))
 	h.mu.Lock()

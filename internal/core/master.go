@@ -110,6 +110,14 @@ type MasterConfig struct {
 	// read shuffle-edge sketches should also implement
 	// ctrl.EdgeStatsConsumer so the telemetry hub fetches them.
 	Policies []ctrl.Policy
+
+	// Seeds are warm-start partition maps for the job's partitioned
+	// edges, keyed by this master's (namespaced) bag names. The
+	// scheduler fills it from JobConfig.Seeds; the master publishes the
+	// maps from its own goroutine before its first scheduling pass, so
+	// producers can never observe an unseeded edge. Best-effort: a
+	// failed publish costs a cold start, not the job.
+	Seeds map[string]*shuffle.PartitionMap
 }
 
 func (c *MasterConfig) fill() {
@@ -643,6 +651,7 @@ func (m *Master) fallbackInterval() time.Duration {
 
 func (m *Master) loop() {
 	defer m.wg.Done()
+	m.publishSeeds()
 	fallback := m.fallbackInterval()
 	timer := time.NewTimer(fallback)
 	defer timer.Stop()

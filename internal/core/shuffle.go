@@ -204,6 +204,34 @@ func (m *Master) applyIsolate(act ctrl.IsolateKey) (bool, error) {
 	return true, nil
 }
 
+// publishSeeds publishes the submission's warm-start seed maps
+// (MasterConfig.Seeds) into their edges' control bags. It runs in the
+// master's goroutine before the first scheduling pass, so no producer
+// can route a record before the seed is visible — and it never blocks
+// the cluster lock. Each edge first replays maps already published
+// (a recovered successor, or a previous attempt), so seeding is
+// idempotent: a seed at or below the known version is skipped.
+// Best-effort throughout: a failed publish costs a cold start.
+func (m *Master) publishSeeds() {
+	for _, name := range edgeNames(m.edges) {
+		seed := m.cfg.Seeds[name]
+		if seed == nil {
+			continue
+		}
+		edge := m.edges[name]
+		_ = m.adoptPublishedMaps(edge)
+		m.mu.Lock()
+		known := edge.pmap.Version
+		m.mu.Unlock()
+		if seed.Version <= known {
+			continue
+		}
+		sm := seed.Clone()
+		sm.Bag = name
+		_ = m.publishMap(edge, sm)
+	}
+}
+
 // publishMap publishes a refined partition map and adopts it. Publish
 // first, adopt second: producers must never observe a map the master (and
 // a recovered successor) would not also know about.

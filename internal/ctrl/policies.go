@@ -190,25 +190,24 @@ func hotLeaf(cfg *Config, e *EdgeTel) (leaf string, count uint64, ok bool) {
 
 // dominantKey returns the heaviest non-isolated heavy-hitter candidate
 // routed to the given leaf, if one accounts for at least IsolateFraction
-// of the leaf's records.
+// of the leaf's records. Candidates come pre-ranked from the sketch
+// API's first-class extraction (TopKeys), so the first survivor of the
+// leaf/isolation filters is the dominant one.
 func dominantKey(cfg *Config, e *EdgeTel, leaf string, leafCount uint64) *sketch.HeavyKey {
-	var top *sketch.HeavyKey
-	for i := range e.Stats.Heavy {
-		hk := &e.Stats.Heavy[i]
+	for _, hk := range e.Stats.TopKeys(sketch.MaxHeavyKeys, 0) {
 		if e.PMap.IsIsolated(shuffle.KeyHash(hk.Key)) {
 			continue
 		}
 		if e.PMap.LeafForKey(hk.Key) != leaf {
 			continue
 		}
-		if top == nil || hk.Count > top.Count {
-			top = hk
+		if float64(hk.Count) < cfg.IsolateFraction*float64(leafCount) {
+			return nil
 		}
+		hk := hk
+		return &hk
 	}
-	if top == nil || float64(top.Count) < cfg.IsolateFraction*float64(leafCount) {
-		return nil
-	}
-	return top
+	return nil
 }
 
 // SplitPartitionPolicy re-hashes a hot base partition into SplitFan

@@ -42,12 +42,11 @@ func WarmStart(prev *PartitionMap, stats *sketch.EdgeStats, newBag string, base 
 		if fan < 1 || !spread {
 			fan = 1
 		}
-		total := stats.Total()
-		meanLoad := float64(total) / float64(base)
-		for _, hk := range stats.Heavy {
-			if total == 0 || float64(hk.Count) < isolateFraction*meanLoad {
-				continue
-			}
+		// A key is seed-isolated when its observed share reaches
+		// isolateFraction of a mean partition's load — as a fraction of
+		// the stream, isolateFraction/base (sketch.EdgeStats.TopKeys is
+		// the canonical extraction).
+		for _, hk := range stats.TopKeys(sketch.MaxHeavyKeys, isolateFraction/float64(base)) {
 			hash := KeyHash(hk.Key)
 			if seed.IsIsolated(hash) {
 				continue

@@ -228,6 +228,87 @@ func (e *EdgeStats) Merge(other *EdgeStats) error {
 	return nil
 }
 
+// TopKeys returns the heavy-hitter candidates whose observed share of the
+// edge's records is at least minFraction of the total, capped at k and
+// sorted by descending count (ties by key bytes). This is the first-class
+// heavy-hitter extraction shared by the query planner's skewed-join
+// decision, the warm-start seeding, and the runtime isolation policy —
+// the one place the "how heavy is heavy" arithmetic lives.
+func (e *EdgeStats) TopKeys(k int, minFraction float64) []HeavyKey {
+	total := e.Total()
+	if total == 0 || k <= 0 {
+		return nil
+	}
+	sorted := make([]HeavyKey, len(e.Heavy))
+	copy(sorted, e.Heavy)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Count != sorted[j].Count {
+			return sorted[i].Count > sorted[j].Count
+		}
+		return string(sorted[i].Key) < string(sorted[j].Key)
+	})
+	threshold := minFraction * float64(total)
+	out := make([]HeavyKey, 0, k)
+	for _, hk := range sorted {
+		if len(out) == k {
+			break
+		}
+		if float64(hk.Count) < threshold {
+			break // sorted descending: nothing later qualifies
+		}
+		out = append(out, hk)
+	}
+	return out
+}
+
+// ---- offline stats construction ----
+
+// StatsBuilder accumulates exact per-key counts into an EdgeStats — the
+// offline (warm-start) counterpart of the shuffle writer's streaming
+// sketch. Use it to build compile-time statistics for the query planner
+// from a sample, a generator's known output, or a test's synthetic
+// distribution: the count-min sketch is fed every observation and the
+// heavy-candidate list is exact (top MaxHeavyKeys by count).
+type StatsBuilder struct {
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewStatsBuilder returns an empty builder.
+func NewStatsBuilder() *StatsBuilder {
+	return &StatsBuilder{counts: make(map[string]uint64)}
+}
+
+// Add observes n records of key.
+func (b *StatsBuilder) Add(key []byte, n uint64) {
+	b.counts[string(key)] += n
+	b.total += n
+}
+
+// Stats freezes the observations into an EdgeStats. The partition-count
+// map carries the total under a synthetic leaf name ("~sample") so
+// Total() — which thresholds every heavy-hitter decision — reflects the
+// observed volume without claiming knowledge of any physical layout.
+func (b *StatsBuilder) Stats() *EdgeStats {
+	e := NewEdgeStats()
+	e.Counts["~sample"] = b.total
+	for k, n := range b.counts {
+		key := []byte(k)
+		e.CM.Add(key, n)
+		e.Heavy = append(e.Heavy, HeavyKey{Key: key, Count: n})
+	}
+	sort.Slice(e.Heavy, func(i, j int) bool {
+		if e.Heavy[i].Count != e.Heavy[j].Count {
+			return e.Heavy[i].Count > e.Heavy[j].Count
+		}
+		return string(e.Heavy[i].Key) < string(e.Heavy[j].Key)
+	})
+	if len(e.Heavy) > MaxHeavyKeys {
+		e.Heavy = e.Heavy[:MaxHeavyKeys]
+	}
+	return e
+}
+
 // edgeStatsWire is the serialized form; the count-min sketch travels as its
 // own binary encoding inside the JSON envelope.
 type edgeStatsWire struct {

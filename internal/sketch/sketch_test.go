@@ -153,3 +153,63 @@ func TestEdgeStatsDecodeErrors(t *testing.T) {
 		t.Fatal("corrupt embedded sketch must error")
 	}
 }
+
+// TestTopKeysExtraction: the first-class heavy-hitter helper honors the
+// fraction threshold, the cap, and descending order.
+func TestTopKeysExtraction(t *testing.T) {
+	b := NewStatsBuilder()
+	b.Add(k64(1), 500) // 50%
+	b.Add(k64(2), 300) // 30%
+	b.Add(k64(3), 150) // 15%
+	b.Add(k64(4), 50)  // 5%
+	st := b.Stats()
+	if st.Total() != 1000 {
+		t.Fatalf("builder total %d, want 1000", st.Total())
+	}
+
+	top := st.TopKeys(10, 0.10)
+	if len(top) != 3 {
+		t.Fatalf("TopKeys(10, 0.10) returned %d keys, want 3 (≥10%% each)", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Count > top[i-1].Count {
+			t.Fatalf("TopKeys not sorted descending: %v", top)
+		}
+	}
+	if string(top[0].Key) != string(k64(1)) || top[0].Count != 500 {
+		t.Fatalf("top key wrong: %+v", top[0])
+	}
+
+	if got := st.TopKeys(2, 0.10); len(got) != 2 {
+		t.Fatalf("cap ignored: %d keys, want 2", len(got))
+	}
+	if got := st.TopKeys(10, 0.60); len(got) != 0 {
+		t.Fatalf("threshold ignored: %d keys, want 0", len(got))
+	}
+	empty := NewEdgeStats()
+	if got := empty.TopKeys(10, 0); got != nil {
+		t.Fatalf("empty stats returned %v", got)
+	}
+}
+
+// TestStatsBuilderSketchAgrees: the builder's count-min sketch estimates
+// match the exact counts it was fed (one-sided error: never under).
+func TestStatsBuilderSketchAgrees(t *testing.T) {
+	b := NewStatsBuilder()
+	for i := uint64(0); i < 100; i++ {
+		b.Add(k64(i), i+1)
+	}
+	st := b.Stats()
+	for i := uint64(0); i < 100; i++ {
+		est := st.CM.Estimate(k64(i))
+		if est < i+1 {
+			t.Fatalf("key %d: estimate %d under true count %d", i, est, i+1)
+		}
+	}
+	if len(st.Heavy) != MaxHeavyKeys {
+		t.Fatalf("heavy candidates %d, want cap %d", len(st.Heavy), MaxHeavyKeys)
+	}
+	if st.Heavy[0].Count != 100 {
+		t.Fatalf("heaviest candidate count %d, want 100", st.Heavy[0].Count)
+	}
+}

@@ -282,6 +282,37 @@ func (g *RelationGen) Generate(n int) []Tuple {
 	return out
 }
 
+// SeqRelation generates a dimension relation holding each key of
+// [0, keys) exactly once with a random payload — the build side of the
+// planner benchmarks, where one build tuple per key makes join output
+// exactly per-probe-record.
+func SeqRelation(keys int, seed int64) []Tuple {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Tuple, keys)
+	for i := range out {
+		out[i] = Tuple{Key: uint64(i), Payload: rng.Uint64()}
+	}
+	return out
+}
+
+// ZipfTuples generates n tuples whose keys follow zipf(s) over a keys-
+// sized domain — the dataset-generation glue shared by the benchmark
+// subcommands and the hurricane-run jobs.
+func ZipfTuples(n, keys int, s float64, seed int64) []Tuple {
+	g := RelationGen{Keys: keys, S: s, Seed: seed}
+	return g.Generate(n)
+}
+
+// KeyCounts computes per-key record counts — the ground-truth oracle for
+// every keyed-aggregation workload.
+func KeyCounts(ts []Tuple) map[uint64]int64 {
+	m := make(map[uint64]int64, 64)
+	for _, t := range ts {
+		m[t.Key]++
+	}
+	return m
+}
+
 // JoinCount computes the ground-truth number of join output tuples
 // between two relations (sum over keys of count_a × count_b).
 func JoinCount(a, b []Tuple) int64 {
