@@ -1,0 +1,26 @@
+package repro
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/hurricane"
+)
+
+// dumpBenchMetrics prints one variant's engine metrics snapshot — the
+// non-zero hurricane_* series from the cluster observer — as a single
+// JSON line. When the recorded numbers in BENCH_policy.json and
+// BENCH_shuffle.json are regenerated, this line is what gets embedded
+// next to each variant, so the documents carry the mitigation activity
+// (splits, isolations, clones, bytes shuffled) that produced the times.
+func dumpBenchMetrics(variant string, cluster *hurricane.Cluster) {
+	snap := map[string]float64{}
+	for series, v := range cluster.Observer().Registry().Snapshot() {
+		if strings.HasPrefix(series, "hurricane_") && v != 0 {
+			snap[series] = v
+		}
+	}
+	data, _ := json.Marshal(snap)
+	fmt.Printf("BENCH_METRICS %s %s\n", variant, data)
+}

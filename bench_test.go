@@ -317,10 +317,15 @@ func BenchmarkEngineSkewedShuffle(b *testing.B) {
 			if err := cluster.Run(ctx, app); err != nil {
 				b.Fatal(err)
 			}
-			if i == 0 && !disableSplitting {
-				st := cluster.Master().Stats()
-				b.ReportMetric(float64(st.Splits), "splits")
-				b.ReportMetric(float64(st.Isolations), "isolations")
+			if i == 0 {
+				if !disableSplitting {
+					st := cluster.Master().Stats()
+					b.ReportMetric(float64(st.Splits), "splits")
+					b.ReportMetric(float64(st.Isolations), "isolations")
+					dumpBenchMetrics("skew_aware", cluster)
+				} else {
+					dumpBenchMetrics("static", cluster)
+				}
 			}
 			cluster.Shutdown()
 		}

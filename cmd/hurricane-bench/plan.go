@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/hurricane"
@@ -95,6 +94,9 @@ func planBench() error {
 		Isolations int   `json:"runtime_isolations"`
 		Clones     int   `json:"clones"`
 		SeededIso  int   `json:"seeded_isolations"`
+		// Metrics is the run's engine metrics snapshot (hurricane_*
+		// series from the cluster observer), captured before shutdown.
+		Metrics map[string]float64 `json:"metrics,omitempty"`
 	}
 
 	runOnce := func(naive bool) (variant, error) {
@@ -190,20 +192,14 @@ func planBench() error {
 		}
 		st := cluster.Master().Stats()
 		out.Splits, out.Isolations, out.Clones = st.Splits, st.Isolations, st.Clones
+		out.Metrics = captureMetrics(cluster)
 		return out, nil
 	}
 
 	median := func(naive bool) (variant, error) {
-		runs := make([]variant, 0, iters)
-		for i := 0; i < iters; i++ {
-			v, err := runOnce(naive)
-			if err != nil {
-				return variant{}, err
-			}
-			runs = append(runs, v)
-		}
-		sort.Slice(runs, func(a, b int) bool { return runs[a].ElapsedMS < runs[b].ElapsedMS })
-		return runs[iters/2], nil
+		return runTimed(iters,
+			func() (variant, error) { return runOnce(naive) },
+			func(v variant) float64 { return float64(v.ElapsedMS) })
 	}
 
 	fmt.Printf("plan: R(%d keys) join S(%d Zipf(1.3) records), naive repartition vs planner-chosen skewed join\n",

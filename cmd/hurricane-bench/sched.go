@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"sort"
 	"time"
 
 	"repro/internal/apps"
@@ -37,6 +36,9 @@ func schedBench() error {
 		Clones     int   `json:"clones"`
 		Splits     int   `json:"splits"`
 		Isolations int   `json:"isolations"`
+		// Metrics is the run's engine metrics snapshot (hurricane_*
+		// series from the cluster observer), captured before shutdown.
+		Metrics map[string]float64 `json:"metrics,omitempty"`
 	}
 	const (
 		skewRecords = 200000
@@ -148,6 +150,7 @@ func schedBench() error {
 		out.Clones = st.Clones
 		out.Splits = st.Splits
 		out.Isolations = st.Isolations
+		out.Metrics = captureMetrics(cluster)
 		return out, nil
 	}
 
@@ -155,16 +158,9 @@ func schedBench() error {
 	// measured quantity) — single co-runs are noisy at this scale.
 	const iters = 3
 	median := func(fairShare bool) (coRun, error) {
-		runs := make([]coRun, 0, iters)
-		for i := 0; i < iters; i++ {
-			r, err := runOnce(fairShare)
-			if err != nil {
-				return coRun{}, err
-			}
-			runs = append(runs, r)
-		}
-		sort.Slice(runs, func(a, b int) bool { return runs[a].UniMS < runs[b].UniMS })
-		return runs[iters/2], nil
+		return runTimed(iters,
+			func() (coRun, error) { return runOnce(fairShare) },
+			func(r coRun) float64 { return float64(r.UniMS) })
 	}
 	fmt.Println("sched: 2-job co-run (skewed groupby vs uniform groupby), fair-share leasing on/off")
 	fair, err := median(true)

@@ -50,6 +50,11 @@ func streamBench() error {
 		Splits       int     `json:"runtime_splits"`
 		Isolations   int     `json:"runtime_isolations"`
 		TotalRuntime int64   `json:"total_ms"`
+		// Metrics is the run's engine metrics snapshot (hurricane_*
+		// series from the cluster observer, labels collapsed — one job
+		// per window would otherwise bloat the document), captured
+		// before shutdown.
+		Metrics map[string]float64 `json:"metrics,omitempty"`
 	}
 
 	// Drifting skew: the hot region rotates by one every two windows, so
@@ -161,20 +166,14 @@ func streamBench() error {
 		total := lastDone.Sub(firstSubmit)
 		out.WindowsPerS = float64(windows) / total.Seconds()
 		out.TotalRuntime = total.Milliseconds()
+		out.Metrics = captureMetricsCollapsed(cluster)
 		return out, nil
 	}
 
 	median := func(cold bool) (modeResult, error) {
-		runs := make([]modeResult, 0, iters)
-		for i := 0; i < iters; i++ {
-			r, err := runOnce(cold)
-			if err != nil {
-				return modeResult{}, err
-			}
-			runs = append(runs, r)
-		}
-		sort.Slice(runs, func(a, b int) bool { return runs[a].MedianMS < runs[b].MedianMS })
-		return runs[iters/2], nil
+		return runTimed(iters,
+			func() (modeResult, error) { return runOnce(cold) },
+			func(r modeResult) float64 { return r.MedianMS })
 	}
 
 	fmt.Printf("stream: %d windows x %d drifting Zipf(1.3) clicks, warm-start vs cold-start partition maps\n",

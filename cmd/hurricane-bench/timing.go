@@ -1,0 +1,68 @@
+package main
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// runTimed runs one benchmark variant iters times and returns the median
+// run, ordered by key — the variant's measured quantity. Single runs at
+// this scale are noisy; the median keeps the reported numbers honest
+// without averaging away tail behavior.
+func runTimed[T any](iters int, run func() (T, error), key func(T) float64) (T, error) {
+	runs := make([]T, 0, iters)
+	for i := 0; i < iters; i++ {
+		r, err := run()
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(a, b int) bool { return key(runs[a]) < key(runs[b]) })
+	return runs[iters/2], nil
+}
+
+// captureMetrics snapshots the cluster's metrics registry for embedding
+// in a BENCH_*.json document: only hurricane_* series (the engine's own
+// meters), and only non-zero values, so the document records what the
+// run actually exercised. Called before Shutdown, while the observer
+// still holds the run's counters.
+func captureMetrics(c *core.Cluster) map[string]float64 {
+	out := make(map[string]float64)
+	for series, v := range c.Observer().Registry().Snapshot() {
+		if strings.HasPrefix(series, "hurricane_") && v != 0 {
+			out[series] = v
+		}
+	}
+	return out
+}
+
+// captureMetricsCollapsed is captureMetrics with every label stripped:
+// series differing only in labels merge under the bare metric name —
+// summed, except streaming-quantile series (_p50/_p95/_p99), which take
+// the maximum (quantiles do not sum). The stream benchmark runs one
+// short-lived job per window, so the raw snapshot would carry hundreds
+// of near-identical per-window series where the merged totals are what
+// the document needs.
+func captureMetricsCollapsed(c *core.Cluster) map[string]float64 {
+	out := make(map[string]float64)
+	for series, v := range c.Observer().Registry().Snapshot() {
+		if !strings.HasPrefix(series, "hurricane_") || v == 0 {
+			continue
+		}
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		switch {
+		case strings.HasSuffix(name, "_p50"), strings.HasSuffix(name, "_p95"), strings.HasSuffix(name, "_p99"):
+			out[name] = max(out[name], v)
+		default:
+			out[name] += v
+		}
+	}
+	return out
+}

@@ -36,6 +36,16 @@
 //	hurricane-run -storage ... -serve &
 //	hurricane-run -storage ... -submit -name j1 -job groupby -records 200000 -skew 1.3
 //	hurricane-run -storage ... -submit -name j2 -job sqsum -records 100000 -weight 2
+//
+// A -serve process also exposes the cluster's live observability over
+// HTTP (default 127.0.0.1:6066; move it with -debug addr, disable with
+// -debug off): /metrics in Prometheus text format, /debug/trace for the
+// typed skew-event log, /debug/skew for per-edge heavy hitters and
+// partition heat, and the standard /debug/pprof/ profiles:
+//
+//	curl -s localhost:6066/metrics | grep hurricane_core_splits_total
+//	curl -s 'localhost:6066/debug/trace?job=j1&type=PartitionSplit'
+//	curl -s localhost:6066/debug/skew
 package main
 
 import (
@@ -67,6 +77,7 @@ func main() {
 	streamMode := flag.Bool("stream", false, "continuous ingestion: run a drifting Zipf click-log stream as event-time windows against the remote storage tier")
 	windows := flag.Int("windows", 8, "-stream: number of event-time windows")
 	serveMode := flag.Bool("serve", false, "run the multi-job scheduler service: execute jobs submitted via the sched!submit bag")
+	debugAddr := flag.String("debug", "", "-serve: address for the /metrics and /debug HTTP surface (default 127.0.0.1:6066; \"off\" disables)")
 	submitMode := flag.Bool("submit", false, "submit a job to a -serve process and wait for its result")
 	name := flag.String("name", "", "-submit: unique job name (also its bag namespace)")
 	weight := flag.Int("weight", 0, "-submit: fair-share weight (0 = default)")
@@ -109,7 +120,7 @@ func main() {
 	if *serveMode {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if err := serve(ctx, store, *computes, *slots); err != nil {
+		if err := serve(ctx, store, *computes, *slots, *debugAddr); err != nil {
 			log.Fatal(err)
 		}
 		return

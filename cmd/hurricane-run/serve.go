@@ -6,6 +6,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"net"
+	"net/http"
 	"strings"
 	"time"
 
@@ -68,7 +70,9 @@ func newSubmissionID() (string, error) {
 
 // serve runs the multi-job scheduler against the remote storage tier and
 // executes every job submitted through the submit bag, concurrently.
-func serve(ctx context.Context, store *bag.Store, computes, slots int) error {
+// debugAddr is the listen address for the observability surface
+// (cluster.DebugHandler); "" picks the default, "off" disables it.
+func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr string) error {
 	cluster := core.NewClusterOverStore(store, core.ClusterConfig{
 		ComputeNodes: computes,
 		SlotsPerNode: slots,
@@ -83,6 +87,29 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int) error {
 		Sched: sched.Config{Interval: 10 * time.Millisecond},
 	})
 	defer cluster.Shutdown()
+
+	if debugAddr != "off" {
+		if debugAddr == "" {
+			debugAddr = "127.0.0.1:6066"
+		}
+		ln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			return fmt.Errorf("serve: debug listener on %s: %w (use -debug off to disable)", debugAddr, err)
+		}
+		dbg := &http.Server{Handler: cluster.DebugHandler()}
+		go func() {
+			if err := dbg.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Printf("serve: debug server: %v\n", err)
+			}
+		}()
+		defer func() {
+			shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shctx)
+		}()
+		fmt.Printf("hurricane-run: debug surface on http://%s (/metrics /debug/trace /debug/skew /debug/pprof/)\n",
+			ln.Addr())
+	}
 
 	fmt.Printf("hurricane-run: serving job submissions via bag %q (%d compute nodes x %d slots)\n",
 		submitBag, computes, slots)

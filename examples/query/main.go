@@ -137,7 +137,13 @@ func main() {
 	for i, nc := range got {
 		fmt.Printf("  %d. %-10s %8d clicks\n", i+1, nc.First, nc.Second)
 	}
-	fmt.Printf("master stats: %+v\n", cluster.Master().Stats())
+	// The run's mitigation story, from the job's metrics snapshot (the
+	// same per-job series /metrics serves, with the job label stripped).
+	m := cluster.Primary().Metrics()
+	fmt.Printf("mitigation: %.0f splits, %.0f isolations, %.0f clones; %.0f tasks finished, %.0f control snapshots\n",
+		m["hurricane_core_splits_total"], m["hurricane_core_isolations_total"],
+		m["hurricane_core_clones_total"], m["hurricane_core_tasks_finished_total"],
+		m["hurricane_ctrl_snapshots_total"])
 
 	// Oracle check: the ranking must match ground truth exactly.
 	for i, nc := range got {

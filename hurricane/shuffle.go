@@ -62,6 +62,8 @@ func NewPartitionedWriterWith[T any](tc *TaskCtx, out int, codec Codec[T], key f
 		Partitioner: part,
 		PollEvery:   spec.PollEvery,
 		SketchEvery: spec.SketchEvery,
+		Obs:         tc.Obs(),
+		Job:         tc.Job(),
 	})
 	tc.OnFinish(w.Close)
 	return &PartitionedWriter[T]{w: w, codec: codec, key: key}

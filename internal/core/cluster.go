@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/storage"
 	"repro/internal/transport"
@@ -45,6 +46,15 @@ type ClusterConfig struct {
 	// Sched tunes the multi-job scheduler (admission control, fair-share
 	// slot leasing, preemption cadence).
 	Sched sched.Config
+
+	// Obs, when set, is the observer every layer of the cluster reports
+	// into. When nil (the default) the cluster creates its own with
+	// obs.DefaultTraceCap, so observability is on out of the box; set
+	// DisableObs to run with no observer at all (every instrumented path
+	// degrades to nil-safe no-ops).
+	Obs *obs.Observer
+	// DisableObs turns observability off entirely.
+	DisableObs bool
 }
 
 func (c *ClusterConfig) fill() {
@@ -84,6 +94,7 @@ type Cluster struct {
 
 	reg    *sched.Registry
 	leases *sched.Leases
+	obs    *obs.Observer // nil when ClusterConfig.DisableObs
 
 	mu          sync.Mutex
 	computes    map[string]*ComputeNode
@@ -96,8 +107,15 @@ type Cluster struct {
 
 func newCluster(cfg ClusterConfig) *Cluster {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Cluster{
+	o := cfg.Obs
+	if o == nil && !cfg.DisableObs {
+		o = obs.New(obs.DefaultTraceCap)
+	}
+	cfg.Obs = o
+	cfg.Node.Obs = o // workers report shuffle-edge bytes/records
+	c := &Cluster{
 		cfg:        cfg,
+		obs:        o,
 		storages:   make(map[string]*storage.Node),
 		computes:   make(map[string]*ComputeNode),
 		jobs:       make(map[string]*JobHandle),
@@ -106,6 +124,9 @@ func newCluster(cfg ClusterConfig) *Cluster {
 		reg:        sched.NewRegistry(cfg.Sched),
 		leases:     sched.NewLeases(cfg.Sched.DisableFairShare),
 	}
+	c.reg.Bind(o)
+	c.leases.Bind(o)
+	return c
 }
 
 // NewCluster provisions storage nodes and a bag store per the config.
@@ -161,6 +182,17 @@ func NewClusterOverStore(store *bag.Store, cfg ClusterConfig) *Cluster {
 // results).
 func (c *Cluster) Store() *bag.Store { return c.store }
 
+// Observer exposes the cluster's observer: the metrics registry and
+// event trace every layer reports into. Nil when observability was
+// disabled (ClusterConfig.DisableObs).
+func (c *Cluster) Observer() *obs.Observer { return c.obs }
+
+// Trace returns the cluster-wide skew-event trace, oldest first,
+// across all jobs. Nil-safe: an unobserved cluster returns nil.
+func (c *Cluster) Trace() []obs.Event {
+	return c.obs.Tracer().Events("", "")
+}
+
 // Master returns the primary job's current application master (nil
 // before Start). Jobs submitted through SubmitJob carry their own
 // master; reach it through the JobHandle.
@@ -172,6 +204,16 @@ func (c *Cluster) Master() *Master {
 		return nil
 	}
 	return h.currentMaster()
+}
+
+// Primary returns the handle of the cluster's primary job — the one
+// driving the Start/Run/Wait API — or nil before Start. Its Metrics and
+// Trace accessors are the embedded way to read a finished run's
+// mitigation story without mounting the HTTP debug surface.
+func (c *Cluster) Primary() *JobHandle {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
 }
 
 // Job returns the handle of a submitted job, or nil.
@@ -522,6 +564,7 @@ func (c *Cluster) RecoverMaster(ctx context.Context) *Master {
 		mcfg = *h.cfg.Master
 	}
 	mcfg.Job = h.id
+	mcfg.Obs = c.obs
 	m := NewMaster(h.app, c.store, &jobControl{c: c, job: h.id}, mcfg)
 	h.mu.Lock()
 	old := h.master

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestDebugEndpointsLiveCluster runs two concurrent jobs to completion
+// and exercises the debug surface against the live cluster: /metrics
+// must expose per-job task counters in text exposition format, and
+// /debug/trace must serve the typed event log with working job filters.
+func TestDebugEndpointsLiveCluster(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := testClusterConfig()
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	const nA, nB = 8000, 6000
+	var procA, procB atomic.Int64
+	hA, err := cluster.SubmitJob(ctx, sumApp(&procA), JobConfig{Name: "jobA"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hB, err := cluster.SubmitJob(ctx, sumApp(&procB), JobConfig{Name: "jobB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIntsBag(t, ctx, cluster.Store(), hA.Bag("in"), nA)
+	loadIntsBag(t, ctx, cluster.Store(), hB.Bag("in"), nB)
+	if err := hA.Wait(ctx); err != nil {
+		t.Fatalf("jobA: %v", err)
+	}
+	if err := hB.Wait(ctx); err != nil {
+		t.Fatalf("jobB: %v", err)
+	}
+
+	srv := httptest.NewServer(cluster.DebugHandler())
+	defer srv.Close()
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// /metrics: text exposition with per-job labeled series for both jobs.
+	body, ct := get("/metrics")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		`hurricane_core_tasks_finished_total{job="jobA"}`,
+		`hurricane_core_tasks_finished_total{job="jobB"}`,
+		`hurricane_ctrl_snapshots_total{job="jobA"}`,
+		`hurricane_sched_lease_grants_total{job="jobB"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing series %q; got:\n%s", want, body)
+		}
+	}
+
+	// /debug/trace: typed events for both jobs; the job filter narrows.
+	body, ct = get("/debug/trace")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/trace content type %q", ct)
+	}
+	var trace struct {
+		Dropped uint64      `json:"dropped"`
+		Events  []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &trace); err != nil {
+		t.Fatalf("/debug/trace not JSON: %v", err)
+	}
+	jobs := map[string]bool{}
+	types := map[obs.EventType]bool{}
+	for _, e := range trace.Events {
+		jobs[e.Job] = true
+		types[e.Type] = true
+	}
+	if !jobs["jobA"] || !jobs["jobB"] {
+		t.Fatalf("trace missing a job's events: %v", jobs)
+	}
+	if !types[obs.EvTaskScheduled] || !types[obs.EvTaskFinished] {
+		t.Fatalf("trace missing lifecycle events: %v", types)
+	}
+	body, _ = get("/debug/trace?job=jobA&type=TaskFinished")
+	var filtered struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if len(filtered.Events) == 0 {
+		t.Fatal("job+type filter returned no events")
+	}
+	for _, e := range filtered.Events {
+		if e.Job != "jobA" || e.Type != obs.EvTaskFinished {
+			t.Fatalf("filter leak: %+v", e)
+		}
+	}
+
+	// /debug/skew: well-formed JSON (sumApp has no partitioned edge, so
+	// an empty list is the correct answer — not an error).
+	body, ct = get("/debug/skew")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/skew content type %q", ct)
+	}
+	var report []SkewEdge
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("/debug/skew not JSON: %v", err)
+	}
+
+	// JobHandle.Metrics: the job label is stripped and the counts match
+	// the per-job series from /metrics.
+	mA := hA.Metrics()
+	if mA["hurricane_core_tasks_finished_total"] <= 0 {
+		t.Fatalf("jobA Metrics missing finished tasks: %v", mA)
+	}
+	if len(hA.Trace()) == 0 {
+		t.Fatal("jobA Trace empty")
+	}
+	for _, e := range hA.Trace() {
+		if e.Job != "jobA" {
+			t.Fatalf("jobA trace contains foreign event %+v", e)
+		}
+	}
+}
+
+// TestDisableObs: with observability off, every surface degrades to
+// empty-but-valid rather than panicking.
+func TestDisableObs(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := testClusterConfig()
+	cfg.DisableObs = true
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	var proc atomic.Int64
+	h, err := cluster.SubmitJob(ctx, sumApp(&proc), JobConfig{Name: "q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIntsBag(t, ctx, cluster.Store(), h.Bag("in"), 2000)
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Metrics(); len(got) != 0 {
+		t.Fatalf("disabled observer produced metrics: %v", got)
+	}
+	if got := h.Trace(); got != nil {
+		t.Fatalf("disabled observer produced trace: %v", got)
+	}
+	srv := httptest.NewServer(cluster.DebugHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics on unobserved cluster: status %d", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/shuffle"
 )
@@ -142,6 +143,20 @@ func (h *JobHandle) Stats() JobStats {
 // the streaming subsystem reads EdgeMemory from it to warm-start the next
 // window.
 func (h *JobHandle) Master() *Master { return h.currentMaster() }
+
+// Metrics snapshots the cluster registry's view of this job: every
+// series labeled job=<id> (with the label stripped from the returned
+// names) plus the unlabeled cluster-wide series. Histograms flatten to
+// _count/_sum/_p50/_p95/_p99. Nil when observability is disabled.
+func (h *JobHandle) Metrics() map[string]float64 {
+	return h.c.obs.Registry().SnapshotFor("job", h.id)
+}
+
+// Trace returns the job's slice of the cluster-wide event trace, oldest
+// first. Nil-safe: an unobserved cluster returns nil.
+func (h *JobHandle) Trace() []obs.Event {
+	return h.c.obs.Tracer().Events(h.id, "")
+}
 
 // currentMaster returns the job's master (nil while queued).
 func (h *JobHandle) currentMaster() *Master {
@@ -476,6 +491,7 @@ func (c *Cluster) startJobLocked(ctx context.Context, h *JobHandle) {
 		mcfg = *h.cfg.Master
 	}
 	mcfg.Job = h.id
+	mcfg.Obs = c.obs
 	if len(h.cfg.Seeds) > 0 {
 		mcfg.Seeds = make(map[string]*shuffle.PartitionMap, len(h.cfg.Seeds))
 		for name, seed := range h.cfg.Seeds {
@@ -606,6 +622,8 @@ func (c *Cluster) schedPass() {
 		plan := c.leases.Plan()
 		for _, it := range items {
 			if n := plan[it.h.id]; n > 0 {
+				c.obs.Counter("hurricane_sched_preemptions_total", "job", it.h.id).Inc()
+				c.obs.Emit(obs.EvLeasePreempt, it.h.id, it.h.id, fmt.Sprintf("yield=%d", n))
 				it.m.YieldClones(n)
 			}
 		}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/ctrl"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 	"repro/internal/sketch"
 )
@@ -118,6 +119,12 @@ type MasterConfig struct {
 	// producers can never observe an unseeded edge. Best-effort: a
 	// failed publish costs a cold start, not the job.
 	Seeds map[string]*shuffle.PartitionMap
+
+	// Obs receives the master's metrics (labeled by job) and decision
+	// trace events. The cluster injects its shared observer here; nil
+	// disables instrumentation (every update site degrades to a nil
+	// check).
+	Obs *obs.Observer
 }
 
 func (c *MasterConfig) fill() {
@@ -310,6 +317,59 @@ type Master struct {
 	splits       int
 	isolations   int
 	yields       int
+
+	// obs is the shared observer (nil-safe) plus this job's cached
+	// metric handles; events carry cfg.Job.
+	obs masterObs
+}
+
+// masterObs caches the master's per-job metric handles so the control
+// loop never pays a registry lookup. All handles are nil-safe no-ops
+// when no observer is installed.
+type masterObs struct {
+	o   *obs.Observer
+	job string
+
+	clones      *obs.Counter
+	rejects     *obs.Counter
+	speculative *obs.Counter
+	splits      *obs.Counter
+	isolations  *obs.Counter
+	yields      *obs.Counter
+	scheduled   *obs.Counter
+	finished    *obs.Counter
+	recoveries  *obs.Counter
+
+	proposed   *obs.Counter
+	applied    *obs.Counter
+	suppressed *obs.Counter
+}
+
+func newMasterObs(o *obs.Observer, job string) masterObs {
+	l := []string{"job", job}
+	return masterObs{
+		o:   o,
+		job: job,
+
+		clones:      o.Counter("hurricane_core_clones_total", l...),
+		rejects:     o.Counter("hurricane_core_clone_rejects_total", l...),
+		speculative: o.Counter("hurricane_core_speculative_clones_total", l...),
+		splits:      o.Counter("hurricane_core_splits_total", l...),
+		isolations:  o.Counter("hurricane_core_isolations_total", l...),
+		yields:      o.Counter("hurricane_core_yields_total", l...),
+		scheduled:   o.Counter("hurricane_core_tasks_scheduled_total", l...),
+		finished:    o.Counter("hurricane_core_tasks_finished_total", l...),
+		recoveries:  o.Counter("hurricane_core_recoveries_total", l...),
+
+		proposed:   o.Counter("hurricane_ctrl_actions_proposed_total", l...),
+		applied:    o.Counter("hurricane_ctrl_actions_applied_total", l...),
+		suppressed: o.Counter("hurricane_ctrl_actions_suppressed_total", l...),
+	}
+}
+
+// emit appends one trace event attributed to this master's job.
+func (mo *masterObs) emit(typ obs.EventType, subject, detail string) {
+	mo.o.Emit(typ, mo.job, subject, detail)
 }
 
 // NewMaster creates a master for the app. The caller must have validated
@@ -345,11 +405,12 @@ func NewMaster(app *App, store *bag.Store, control ClusterControl, cfg MasterCon
 	m.runScan = m.wb.runningScanner()
 	m.readyScan = m.wb.readyScanner()
 
+	m.obs = newMasterObs(cfg.Obs, cfg.Job)
 	m.policies = cfg.Policies
 	if m.policies == nil {
 		m.policies = DefaultPolicies(cfg)
 	}
-	hubCfg := ctrl.HubConfig{FetchInterval: cfg.SplitInterval}
+	hubCfg := ctrl.HubConfig{FetchInterval: cfg.SplitInterval, Obs: cfg.Obs, Job: cfg.Job}
 	m.wantsStats = wantsEdgeStats(m.policies)
 	if m.wantsStats && len(m.edges) > 0 {
 		hubCfg.FetchStats = func(ctx context.Context, edge string) (*sketch.EdgeStats, error) {
@@ -561,6 +622,8 @@ func (m *Master) YieldClones(n int) int {
 	for _, t := range targets {
 		if m.control.YieldWorker(t.node, t.bpID) {
 			yielded++
+			m.obs.yields.Inc()
+			m.obs.emit(obs.EvCloneYielded, t.bpID, "node="+t.node)
 			continue
 		}
 		// Worker already gone (completed or killed): roll back.
@@ -772,8 +835,20 @@ func (m *Master) controlPass() (int, error) {
 			m.mu.Unlock()
 		}
 	}
-	actions := ctrl.Evaluate(snap, m.policies)
-	return m.applyActions(actions)
+	// Propose and arbitrate separately (ctrl.Evaluate fuses the two) so
+	// the proposed-versus-surviving gap is observable: the suppressed
+	// counter is the arbiter's work — duplicate clones collapsed, clone
+	// budgets enforced, refinements deduplicated per edge.
+	var proposed []ctrl.Action
+	for _, p := range m.policies {
+		proposed = append(proposed, p.Evaluate(snap)...)
+	}
+	actions := ctrl.Arbitrate(snap, proposed)
+	m.obs.proposed.Add(uint64(len(proposed)))
+	m.obs.suppressed.Add(uint64(len(proposed) - len(actions)))
+	applied, err := m.applyActions(actions)
+	m.obs.applied.Add(uint64(applied))
+	return applied, err
 }
 
 // fillSnapshot contributes the master's authoritative task and edge state
@@ -856,6 +931,7 @@ func (m *Master) applyActions(actions []ctrl.Action) (int, error) {
 				m.speculative++
 			}
 			m.mu.Unlock()
+			m.obs.rejects.Inc()
 		case ctrl.SplitPartition:
 			ok, err := m.applySplit(act)
 			if err != nil {
@@ -922,6 +998,13 @@ func (m *Master) applyClone(act ctrl.CloneTask) (bool, error) {
 	if err := m.wb.pushReady(m.ctx, bp); err != nil {
 		return false, err
 	}
+	m.obs.clones.Inc()
+	detail := fmt.Sprintf("worker=%d", w)
+	if act.Speculative {
+		m.obs.speculative.Inc()
+		detail += " speculative"
+	}
+	m.obs.emit(obs.EvTaskCloned, act.Task, detail)
 	return true, nil
 }
 
@@ -1084,6 +1167,8 @@ func (m *Master) schedulePass() (int, error) {
 				return scheduled, err
 			}
 			scheduled++
+			m.obs.scheduled.Inc()
+			m.obs.emit(obs.EvTaskScheduled, st.spec.Name, "workers=1")
 			continue
 		}
 		for w, leaf := range leaves {
@@ -1092,6 +1177,9 @@ func (m *Master) schedulePass() (int, error) {
 			}
 			scheduled++
 		}
+		m.obs.scheduled.Inc()
+		m.obs.emit(obs.EvTaskScheduled, st.spec.Name,
+			fmt.Sprintf("workers=%d (one per partition)", len(leaves)))
 	}
 	return scheduled, nil
 }
@@ -1239,6 +1327,8 @@ func (m *Master) finishTask(st *taskState) error {
 	}
 	st.finished = true
 	m.finished++
+	m.obs.finished.Inc()
+	m.obs.emit(obs.EvTaskFinished, st.spec.Name, fmt.Sprintf("workers=%d", st.workers))
 	var toSeal []string
 	for _, out := range st.spec.Outputs {
 		allDone := true

@@ -83,6 +83,7 @@ func (m *Master) NotifyNodeFailure(node string) {
 // restarted (their contribution to the discarded bag is lost), which the
 // worklist below handles transitively.
 func (m *Master) recoverNode(node string) {
+	m.obs.recoveries.Inc()
 	m.mu.Lock()
 	m.recoveries++
 	// Find directly affected tasks: unfinished tasks with a worker

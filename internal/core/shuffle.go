@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
 	"repro/internal/ctrl"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 	"repro/internal/sketch"
 )
@@ -171,6 +173,9 @@ func (m *Master) applySplit(act ctrl.SplitPartition) (bool, error) {
 	m.mu.Lock()
 	m.splits++
 	m.mu.Unlock()
+	m.obs.splits.Inc()
+	m.obs.emit(obs.EvPartitionSplit, act.Edge,
+		fmt.Sprintf("partition=%d fan=%d leaf=%s version=%d", act.Partition, fan, act.Leaf, next.Version))
 	return true, nil
 }
 
@@ -201,6 +206,9 @@ func (m *Master) applyIsolate(act ctrl.IsolateKey) (bool, error) {
 	m.mu.Lock()
 	m.isolations++
 	m.mu.Unlock()
+	m.obs.isolations.Inc()
+	m.obs.emit(obs.EvKeyIsolated, act.Edge,
+		fmt.Sprintf("key=%x fan=%d version=%d", act.Key, fan, next.Version))
 	return true, nil
 }
 
@@ -242,5 +250,7 @@ func (m *Master) publishMap(edge *shuffleEdge, next *shuffle.PartitionMap) error
 	m.mu.Lock()
 	edge.pmap = next
 	m.mu.Unlock()
+	m.obs.emit(obs.EvMapRevision, edge.name,
+		fmt.Sprintf("version=%d splits=%d isolated=%d", next.Version, len(next.Splits), len(next.Isolated)))
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bag"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -102,6 +103,9 @@ type NodeConfig struct {
 	OverloadThreshold float64
 	// HeartbeatInterval is how often the node heartbeats the master.
 	HeartbeatInterval time.Duration
+	// Obs is the cluster observer workers report shuffle-edge byte and
+	// record counts into; nil disables worker-side metrics.
+	Obs *obs.Observer
 }
 
 func (c *NodeConfig) fill() {
@@ -417,7 +421,7 @@ func (n *ComputeNode) startWorker(b *binding, bp *Blueprint) {
 	// sweep, so either the sweep sees the registered worker or this
 	// re-check observes the detach. Both orders kill the worker before
 	// it touches the job's bags.
-	w := runWorkerGated(n.ctx, bp, n.store, b.app)
+	w := runWorkerGated(n.ctx, bp, n.store, b.app, n.cfg.Obs, b.job)
 	key := b.job + "/" + bp.ID
 	n.mu.Lock()
 	n.workers[key] = &workerEntry{w: w, b: b}

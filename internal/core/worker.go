@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
+	"repro/internal/obs"
 )
 
 // TaskCtx is the execution context handed to a TaskFunc. It exposes the
@@ -18,6 +19,8 @@ type TaskCtx struct {
 	bp    *Blueprint
 	store *bag.Store
 	app   *App
+	obs   *obs.Observer // nil-safe; instrumented helpers no-op when unset
+	job   string        // owning job ID, labels per-job series
 
 	ins   []*bag.Bag
 	outs  []*bag.Bag
@@ -44,8 +47,8 @@ type TaskCtx struct {
 	yieldApplied bool
 }
 
-func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *TaskCtx {
-	tc := &TaskCtx{ctx: ctx, bp: bp, store: store, app: app}
+func newTaskCtx(ctx context.Context, bp *Blueprint, store *bag.Store, app *App, o *obs.Observer, job string) *TaskCtx {
+	tc := &TaskCtx{ctx: ctx, bp: bp, store: store, app: app, obs: o, job: job}
 	for _, in := range bp.Inputs {
 		tc.ins = append(tc.ins, store.Bag(in))
 	}
@@ -179,6 +182,14 @@ func (tc *TaskCtx) OutputName(i int) string { return tc.outs[i].Name() }
 // writers use it to open physical partition bags at runtime.
 func (tc *TaskCtx) Store() *bag.Store { return tc.store }
 
+// Obs returns the cluster observer the worker reports into (nil when
+// observability is disabled — all obs handles are nil-safe no-ops).
+func (tc *TaskCtx) Obs() *obs.Observer { return tc.obs }
+
+// Job returns the ID of the job the worker belongs to ("" for bare
+// masters run outside a cluster).
+func (tc *TaskCtx) Job() string { return tc.job }
+
 // OutputPartitions returns the declared base partition count of output i's
 // bag (0 for ordinary bags).
 func (tc *TaskCtx) OutputPartitions(i int) int {
@@ -274,7 +285,7 @@ type worker struct {
 
 // runWorker executes the blueprint's function and reports the outcome.
 func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *worker {
-	w := runWorkerGated(ctx, bp, store, app)
+	w := runWorkerGated(ctx, bp, store, app, nil, "")
 	w.release()
 	return w
 }
@@ -286,11 +297,11 @@ func runWorker(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *
 // chunk. Without it, a stale-epoch blueprint claimed during failure
 // recovery could start consuming a freshly rewound input bag in the gap
 // between the recovery's kill sweep and the node noticing the staleness.
-func runWorkerGated(ctx context.Context, bp *Blueprint, store *bag.Store, app *App) *worker {
+func runWorkerGated(ctx context.Context, bp *Blueprint, store *bag.Store, app *App, o *obs.Observer, job string) *worker {
 	wctx, cancel := context.WithCancel(ctx)
 	w := &worker{
 		bp:     bp,
-		tc:     newTaskCtx(wctx, bp, store, app),
+		tc:     newTaskCtx(wctx, bp, store, app, o, job),
 		cancel: cancel,
 		done:   make(chan struct{}),
 		gate:   make(chan struct{}),

@@ -189,7 +189,7 @@ func TestWorkerKill(t *testing.T) {
 // busy worker from an idle one.
 func TestLoadSnapshotBusyFraction(t *testing.T) {
 	store := newTestStore(t)
-	tc := newTaskCtx(context.Background(), &Blueprint{}, store, nil)
+	tc := newTaskCtx(context.Background(), &Blueprint{}, store, nil, nil, "")
 	// Simulate compute time: control held by the "worker".
 	time.Sleep(20 * time.Millisecond)
 	busy := tc.loadSnapshot()

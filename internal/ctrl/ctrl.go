@@ -7,7 +7,8 @@
 // fine-grained cloning plus late binding — tames skew at runtime. After the
 // shuffle subsystem landed, Hurricane had four mitigations (reactive
 // cloning, speculative cloning, hot-partition splitting, heavy-key
-// isolation) smeared across the master's poll loop. Following the
+// isolation) smeared across what was then the master's polling loop
+// (today's control loop is event-driven). Following the
 // Reshape/Texera line of work, this package separates them into
 // interchangeable strategies driven by a shared metrics pipeline:
 //

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -33,6 +34,11 @@ type HubConfig struct {
 	// SampleBag probes bag depths for the cloning heuristic; nil makes the
 	// heuristic decline every clone (tests install synthetic probes).
 	SampleBag SampleBagFunc
+	// Obs receives the hub's metrics (snapshot count, snapshot lag,
+	// overload signals seen and dropped); nil disables them. Job labels
+	// the series in a multi-job cluster.
+	Obs *obs.Observer
+	Job string
 }
 
 // Hub is the event-driven telemetry hub: compute nodes and the master
@@ -52,16 +58,30 @@ type Hub struct {
 	overloads []Overload
 	dropped   int // overload signals dropped under pressure
 	lastFetch map[string]time.Time
+	// firstSignal is when the oldest still-undrained buffered signal
+	// arrived; Snapshot observes the drain delay as snapshot lag.
+	firstSignal time.Time
+
+	// cached metric handles (nil-safe no-ops when cfg.Obs is nil)
+	mSnapshots *obs.Counter
+	mOverloads *obs.Counter
+	mDropped   *obs.Counter
+	mLag       *obs.Histogram
 }
 
 // NewHub creates a hub. The zero HubConfig is valid (no sketch fetches,
 // no bag probes): signals still batch and Wake still fires.
 func NewHub(cfg HubConfig) *Hub {
+	job := []string{"job", cfg.Job}
 	return &Hub{
-		cfg:       cfg,
-		wake:      make(chan struct{}, 1),
-		nodes:     make(map[string]NodeTel),
-		lastFetch: make(map[string]time.Time),
+		cfg:        cfg,
+		wake:       make(chan struct{}, 1),
+		nodes:      make(map[string]NodeTel),
+		lastFetch:  make(map[string]time.Time),
+		mSnapshots: cfg.Obs.Counter("hurricane_ctrl_snapshots_total", job...),
+		mOverloads: cfg.Obs.Counter("hurricane_ctrl_overloads_total", job...),
+		mDropped:   cfg.Obs.Counter("hurricane_ctrl_overloads_dropped_total", job...),
+		mLag:       cfg.Obs.Histogram("hurricane_ctrl_snapshot_lag_us", job...),
 	}
 }
 
@@ -78,15 +98,28 @@ func (h *Hub) signal() {
 	}
 }
 
-// Nudge wakes the control loop without carrying data — compute nodes call
-// it after inserting work-bag records (task started / completed) so the
-// master re-scans immediately instead of on its next poll.
+// Nudge wakes the control loop without carrying data — compute nodes
+// call it after inserting work-bag records (task started / completed) so
+// the master's event-driven loop re-scans immediately instead of waiting
+// out its idle fallback timer. (There is no polling cadence left to wait
+// on; MasterConfig.PollInterval survives only as a compatibility knob
+// pinning that fallback timer.)
 func (h *Hub) Nudge() { h.signal() }
+
+// noteSignalLocked timestamps the arrival of a buffered (data-carrying)
+// signal so Snapshot can report how long signals waited to be drained.
+func (h *Hub) noteSignalLocked(now time.Time) {
+	if h.firstSignal.IsZero() {
+		h.firstSignal = now
+	}
+}
 
 // Heartbeat ingests one node heartbeat.
 func (h *Hub) Heartbeat(node string, running, slots int) {
+	now := time.Now()
 	h.mu.Lock()
-	h.nodes[node] = NodeTel{LastBeat: time.Now(), Running: running, Slots: slots}
+	h.nodes[node] = NodeTel{LastBeat: now, Running: running, Slots: slots}
+	h.noteSignalLocked(now)
 	h.mu.Unlock()
 	h.signal()
 }
@@ -95,10 +128,13 @@ func (h *Hub) Heartbeat(node string, running, slots int) {
 // cap are dropped (they are advisory and periodically re-sent).
 func (h *Hub) OverloadSignal(o Overload) {
 	h.mu.Lock()
+	h.mOverloads.Inc()
 	if len(h.overloads) < maxPendingOverloads {
 		h.overloads = append(h.overloads, o)
+		h.noteSignalLocked(time.Now())
 	} else {
 		h.dropped++
+		h.mDropped.Inc()
 	}
 	h.mu.Unlock()
 	h.signal()
@@ -128,10 +164,15 @@ func (h *Hub) Snapshot(ctx context.Context, fill func(*Snapshot)) *Snapshot {
 		Overloads: h.overloads,
 	}
 	h.overloads = nil
+	if !h.firstSignal.IsZero() {
+		h.mLag.Observe(snap.Now.Sub(h.firstSignal).Microseconds())
+		h.firstSignal = time.Time{}
+	}
 	for n, tel := range h.nodes {
 		snap.Nodes[n] = tel
 	}
 	h.mu.Unlock()
+	h.mSnapshots.Inc()
 
 	if fill != nil {
 		fill(snap)

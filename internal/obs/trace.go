@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventType names one kind of engine decision. The vocabulary is closed
+// on purpose — the trace is a decision log, not a logging framework.
+type EventType string
+
+const (
+	// EvPartitionSplit: the control plane split a hot partition
+	// (subject = edge, detail = leaf and fan).
+	EvPartitionSplit EventType = "PartitionSplit"
+	// EvKeyIsolated: a heavy key was isolated onto dedicated/spread
+	// partitions (subject = edge, detail = key and share).
+	EvKeyIsolated EventType = "KeyIsolated"
+	// EvTaskCloned: the master started a clone worker (subject = task).
+	EvTaskCloned EventType = "TaskCloned"
+	// EvCloneYielded: a clone was asked to wind down for fair-share
+	// preemption (subject = task/worker).
+	EvCloneYielded EventType = "CloneYielded"
+	// EvMapRevision: a writer adopted a newer partition-map version
+	// (subject = edge, detail = version).
+	EvMapRevision EventType = "MapRevision"
+	// EvLeaseGrant: the lease allocator billed a slot to a job.
+	EvLeaseGrant EventType = "LeaseGrant"
+	// EvLeasePreempt: the scheduler asked a job to yield clone slots to
+	// a starved neighbor (detail = slot count).
+	EvLeasePreempt EventType = "LeasePreempt"
+	// EvWindowSealed: a streaming window's ingest sealed (subject =
+	// window job id).
+	EvWindowSealed EventType = "WindowSealed"
+	// EvWindowRetried: a streaming window was reset and re-run after a
+	// failure (subject = window job id).
+	EvWindowRetried EventType = "WindowRetried"
+	// EvJoinStrategyChosen: the planner picked a physical join strategy
+	// (subject = join edge or node, detail = strategy and reason).
+	EvJoinStrategyChosen EventType = "JoinStrategyChosen"
+	// EvTaskScheduled: the master published a task's blueprints (subject
+	// = task).
+	EvTaskScheduled EventType = "TaskScheduled"
+	// EvTaskFinished: all workers of a task completed (subject = task).
+	EvTaskFinished EventType = "TaskFinished"
+)
+
+// Event is one trace entry. TMicros is monotonic time since the trace
+// was created, so event deltas are meaningful even across wall-clock
+// adjustments.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	TMicros int64     `json:"t_us"`
+	Type    EventType `json:"type"`
+	Job     string    `json:"job,omitempty"`
+	Subject string    `json:"subject,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+}
+
+// DefaultTraceCap is the default trace ring capacity.
+const DefaultTraceCap = 4096
+
+// Trace is a bounded, mutex-guarded event log. Once the ring is full,
+// new events are dropped and counted — the buffer never blocks the
+// emitter and never reallocates, and the retained prefix is the
+// interesting one for skew forensics (the mitigation decisions cluster
+// early in a job's life). A nil *Trace is a no-op.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	ring    []Event
+	seq     uint64
+	dropped uint64
+}
+
+// NewTrace returns a trace ring with the given capacity (cap <= 0
+// selects DefaultTraceCap).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Trace{start: time.Now(), ring: make([]Event, 0, capacity)}
+}
+
+// Emit appends one event, dropping it (and counting the drop) if the
+// ring is at capacity.
+func (t *Trace) Emit(typ EventType, job, subject, detail string) {
+	if t == nil {
+		return
+	}
+	now := time.Since(t.start).Microseconds()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) == cap(t.ring) {
+		t.dropped++
+		return
+	}
+	t.seq++
+	t.ring = append(t.ring, Event{
+		Seq: t.seq, TMicros: now, Type: typ,
+		Job: job, Subject: subject, Detail: detail,
+	})
+}
+
+// Events returns a copy of the retained events, oldest first. job and
+// typ filter when non-empty.
+func (t *Trace) Events(job string, typ EventType) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, len(t.ring))
+	for _, e := range t.ring {
+		if job != "" && e.Job != job {
+			continue
+		}
+		if typ != "" && e.Type != typ {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Len returns the number of retained events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns the number of events dropped at capacity.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 	"repro/internal/sketch"
 )
@@ -194,10 +195,31 @@ func (ph *Physical) Seed(ctx context.Context, store *bag.Store, bagName func(str
 // so the scheduler publishes them after admission and before the job's
 // master starts. Source bags must be loaded and sealed.
 func (ph *Physical) Run(ctx context.Context, c *core.Cluster) error {
+	ph.traceDecisions(c.Observer(), ph.App.Name())
 	if err := c.StartWith(ctx, ph.App, core.JobConfig{Seeds: ph.Seeds}); err != nil {
 		return err
 	}
 	return c.Wait(ctx)
+}
+
+// traceDecisions records the compiled join strategies (with the stats
+// that justified each) in the cluster's observer, so a live /debug/trace
+// shows why the planner chose broadcast/skewed/repartition alongside the
+// runtime refinements that followed. Compile itself has no cluster;
+// Run/Submit are where a plan meets one.
+func (ph *Physical) traceDecisions(o *obs.Observer, job string) {
+	for _, j := range ph.Joins {
+		subject := j.Edge
+		if subject == "" {
+			subject = fmt.Sprintf("node-%d", j.Node)
+		}
+		o.Emit(obs.EvJoinStrategyChosen, job, subject,
+			fmt.Sprintf("node=%d strategy=%s reason: %s", j.Node, j.Strategy, j.Reason))
+		o.Counter("hurricane_plan_join_strategy_total", "strategy", j.Strategy.String()).Inc()
+	}
+	if len(ph.Seeds) > 0 {
+		o.Counter("hurricane_plan_seeded_edges_total").Add(uint64(len(ph.Seeds)))
+	}
 }
 
 // Submit submits the compiled plan to the multi-job scheduler with its
@@ -210,5 +232,10 @@ func (ph *Physical) Submit(ctx context.Context, c *core.Cluster, cfg core.JobCon
 	if cfg.Seeds == nil && len(ph.Seeds) > 0 {
 		cfg.Seeds = ph.Seeds
 	}
+	name := cfg.Name
+	if name == "" {
+		name = ph.App.Name()
+	}
+	ph.traceDecisions(c.Observer(), name)
 	return c.SubmitJob(ctx, ph.App, cfg)
 }

@@ -1,8 +1,11 @@
 package sched
 
 import (
+	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Leases implements weighted fair-share slot leasing between concurrent
@@ -17,6 +20,7 @@ type Leases struct {
 	disabled bool
 	total    int
 	jobs     map[string]*lease
+	o        *obs.Observer // nil-safe; set once by Bind before use
 }
 
 type lease struct {
@@ -24,6 +28,10 @@ type lease struct {
 	running int // slots currently claimed cluster-wide
 	demand  int // unclaimed ready blueprints (sampled)
 	share   int // current fair-share allotment
+
+	// cached per-job metric handles (nil-safe no-ops when unobserved)
+	mGrants  *obs.Counter
+	mDenials *obs.Counter
 }
 
 // NewLeases returns a lease allocator. disabled puts it in pass-through
@@ -35,6 +43,14 @@ func NewLeases(disabled bool) *Leases {
 
 // FairShare reports whether fair-share arbitration is active.
 func (l *Leases) FairShare() bool { return !l.disabled }
+
+// Bind connects the allocator to an observer (call before jobs are
+// added; nil leaves it unobserved).
+func (l *Leases) Bind(o *obs.Observer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.o = o
+}
 
 // SetTotal updates the cluster-wide slot count (compute-node churn).
 func (l *Leases) SetTotal(n int) {
@@ -50,9 +66,17 @@ func (l *Leases) Add(job string, weight int) {
 		weight = 1
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.jobs[job] = &lease{weight: weight}
+	j := &lease{
+		weight:   weight,
+		mGrants:  l.o.Counter("hurricane_sched_lease_grants_total", "job", job),
+		mDenials: l.o.Counter("hurricane_sched_lease_denials_total", "job", job),
+	}
+	l.jobs[job] = j
 	l.reshare()
+	share := j.share
+	o := l.o
+	l.mu.Unlock()
+	o.Emit(obs.EvLeaseGrant, job, job, fmt.Sprintf("weight=%d share=%d", weight, share))
 }
 
 // Remove unregisters a job (completion). Its claimed slots drain through
@@ -124,8 +148,10 @@ func (l *Leases) Acquire(job string) bool {
 	}
 	if l.disabled || j.running < j.share || !l.anyStarvedLocked(job) {
 		j.running++
+		j.mGrants.Inc()
 		return true
 	}
+	j.mDenials.Inc()
 	return false
 }
 

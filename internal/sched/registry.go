@@ -3,6 +3,8 @@ package sched
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Registry is the job registry: it admits submissions, enforces the
@@ -15,6 +17,12 @@ type Registry struct {
 	// queue holds queued job ids in submission order.
 	queue   []string
 	running int
+
+	// cached metric handles (nil-safe no-ops when unobserved)
+	mSubmitted *obs.Counter
+	mQueued    *obs.Counter
+	mDepth     *obs.Gauge
+	mRunning   *obs.Gauge
 }
 
 type regEntry struct {
@@ -27,6 +35,17 @@ type regEntry struct {
 func NewRegistry(cfg Config) *Registry {
 	cfg.Fill()
 	return &Registry{cfg: cfg, jobs: make(map[string]*regEntry)}
+}
+
+// Bind connects the registry to an observer (call before submissions;
+// nil leaves it unobserved).
+func (r *Registry) Bind(o *obs.Observer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.mSubmitted = o.Counter("hurricane_sched_jobs_submitted_total")
+	r.mQueued = o.Counter("hurricane_sched_jobs_queued_total")
+	r.mDepth = o.Gauge("hurricane_sched_queue_depth")
+	r.mRunning = o.Gauge("hurricane_sched_jobs_running")
 }
 
 // Submit validates and registers a job. It returns start=true when the
@@ -67,11 +86,16 @@ func (r *Registry) Submit(id string, claims NameClaims, weight int) (start bool,
 		e.state = StateQueued
 		r.jobs[id] = e
 		r.queue = append(r.queue, id)
+		r.mSubmitted.Inc()
+		r.mQueued.Inc()
+		r.mDepth.Set(int64(len(r.queue)))
 		return false, nil
 	}
 	e.state = StateRunning
 	r.jobs[id] = e
 	r.running++
+	r.mSubmitted.Inc()
+	r.mRunning.Set(int64(r.running))
 	return true, nil
 }
 
@@ -102,6 +126,8 @@ func (r *Registry) Finish(id string, failed bool) (admit []string) {
 		r.running++
 		admit = append(admit, next)
 	}
+	r.mDepth.Set(int64(len(r.queue)))
+	r.mRunning.Set(int64(r.running))
 	return admit
 }
 

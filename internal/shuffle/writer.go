@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
+	"repro/internal/obs"
 	"repro/internal/sketch"
 )
 
@@ -47,6 +48,11 @@ type WriterConfig struct {
 	SketchEvery int
 	// SketchSample overrides the 1-in-N sketch sampling rate.
 	SketchSample int
+	// Obs, when set, receives the edge's record/byte counters (flushed at
+	// Close, off the per-record hot path) and map-adoption trace events.
+	// Job labels the series.
+	Obs *obs.Observer
+	Job string
 }
 
 // leafOut is the write pipeline for one physical partition bag: a chunk
@@ -78,8 +84,9 @@ type Writer struct {
 	stats    *sketch.EdgeStats
 	heavyIdx map[string]int // key -> index into stats.Heavy
 
-	n  uint64 // records written
-	rr int    // round-robin counter for spread isolations
+	n     uint64 // records written
+	bytes uint64 // record payload bytes written
+	rr    int    // round-robin counter for spread isolations
 }
 
 // NewWriter creates a writer for the edge. The initial routing table is
@@ -126,6 +133,7 @@ func (w *Writer) Write(key, rec []byte) error {
 	if err := out.w.Append(rec); err != nil {
 		return err
 	}
+	w.bytes += uint64(len(rec))
 	if w.n%uint64(w.cfg.SketchSample) == 0 {
 		w.stats.CM.Add(key, uint64(w.cfg.SketchSample))
 		w.noteHeavy(key)
@@ -186,6 +194,8 @@ func (w *Writer) pollMap() {
 		}
 		if pm.Version > w.pm.Version {
 			w.pm = pm
+			w.cfg.Obs.Emit(obs.EvMapRevision, w.cfg.Job, w.cfg.Edge,
+				fmt.Sprintf("adopted version=%d writer=%s", pm.Version, w.cfg.WriterID))
 		}
 		return nil
 	})
@@ -221,5 +231,23 @@ func (w *Writer) Close() error {
 		}
 	}
 	w.pushStats()
+	w.flushMetrics()
 	return firstErr
+}
+
+// flushMetrics accumulates the writer's lifetime totals into the edge's
+// labeled counters. Deferred to Close so the per-record hot path never
+// touches the registry; concurrent producer writers of the same edge add
+// into the same series.
+func (w *Writer) flushMetrics() {
+	if w.cfg.Obs == nil {
+		return
+	}
+	labels := []string{"job", w.cfg.Job, "edge", w.cfg.Edge}
+	w.cfg.Obs.Counter("hurricane_shuffle_records_total", labels...).Add(w.n)
+	w.cfg.Obs.Counter("hurricane_shuffle_bytes_total", labels...).Add(w.bytes)
+	for _, out := range w.outs {
+		w.cfg.Obs.Counter("hurricane_shuffle_partition_records_total",
+			"job", w.cfg.Job, "edge", w.cfg.Edge, "part", out.name).Add(out.count)
+	}
 }

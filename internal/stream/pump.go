@@ -11,6 +11,7 @@ import (
 	"repro/internal/bag"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/shuffle"
 )
 
@@ -136,11 +137,18 @@ func (h *Handle) pump(srcs []*srcState) {
 }
 
 // flushCounters mirrors the pump-owned ingestion counters into the
-// mu-guarded fields Stats reads — once per sweep, not per record.
+// mu-guarded fields Stats reads (and the registry gauges) — once per
+// sweep, not per record, so the per-record ingestion path stays free of
+// locks and registry traffic.
 func (h *Handle) flushCounters() {
 	h.mu.Lock()
 	h.ingested, h.lateTotal, h.dropped = h.pIngested, h.pLate, h.pDropped
+	open := len(h.open)
 	h.mu.Unlock()
+	h.mIngested.Set(h.pIngested)
+	h.mLate.Set(h.pLate)
+	h.mDropped.Set(h.pDropped)
+	h.mOpen.Set(int64(open))
 }
 
 func (h *Handle) failPump(err error) {
@@ -334,6 +342,11 @@ func (h *Handle) advance(srcs []*srcState) error {
 	}
 	wm = h.watermark
 	h.mu.Unlock()
+	if wm > 0 {
+		// Meaningful when event times track wall-clock time (negative
+		// synthetic-time lags clamp to zero inside the histogram).
+		h.mLag.Observe((time.Now().UnixNano() - wm) / 1000)
+	}
 	if !h.originSet {
 		return nil
 	}
@@ -391,6 +404,9 @@ func (h *Handle) seal(idx int) error {
 	}
 	lw.res.SealedAt = time.Now()
 	h.lastSealed = lw
+	h.mSealed.Inc()
+	h.obsv.Emit(obs.EvWindowSealed, lw.job, lw.job,
+		fmt.Sprintf("records=%d empty=%t", lw.res.Records, empty))
 	h.mu.Lock()
 	delete(h.open, idx)
 	h.nextSeal = idx + 1
@@ -528,6 +544,9 @@ func (h *Handle) watch(lw *window) {
 			h.finishWindow(lw, err)
 			return
 		}
+		h.mRetried.Inc()
+		h.obsv.Emit(obs.EvWindowRetried, lw.job, lw.job,
+			fmt.Sprintf("attempt=%d err=%v", lw.res.Attempts, err))
 		if rerr := lw.res.job.Reset(h.ctx); rerr != nil {
 			<-h.sem
 			h.finishWindow(lw, fmt.Errorf("stream: window %d retry reset: %v (job error: %w)", lw.res.Index, rerr, err))
@@ -629,5 +648,8 @@ func (h *Handle) seedEdges(lw *window) {
 			continue
 		}
 		lw.res.Seeded = true
+	}
+	if lw.res.Seeded {
+		h.mWarm.Inc()
 	}
 }

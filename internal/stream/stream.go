@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Record is one source record: an event-time stamp (unix nanoseconds) and
@@ -279,6 +280,18 @@ type Handle struct {
 	draining    bool
 	finished    bool
 	pumpErr     error
+
+	// cached observability handles, labeled stream=<name> (nil-safe
+	// no-ops on an unobserved cluster)
+	obsv      *obs.Observer
+	mIngested *obs.Gauge
+	mLate     *obs.Gauge
+	mDropped  *obs.Gauge
+	mOpen     *obs.Gauge
+	mSealed   *obs.Counter
+	mRetried  *obs.Counter
+	mWarm     *obs.Counter
+	mLag      *obs.Histogram
 }
 
 // windowJobName names window idx's job (and bag namespace).
@@ -354,6 +367,17 @@ func Run(ctx context.Context, c *core.Cluster, spec Spec) (*Handle, error) {
 		memoryWin: -1,
 	}
 	h.cond = sync.NewCond(&h.mu)
+	o := c.Observer()
+	sl := []string{"stream", spec.Name}
+	h.obsv = o
+	h.mIngested = o.Gauge("hurricane_stream_ingested_records", sl...)
+	h.mLate = o.Gauge("hurricane_stream_late_records", sl...)
+	h.mDropped = o.Gauge("hurricane_stream_dropped_records", sl...)
+	h.mOpen = o.Gauge("hurricane_stream_open_windows", sl...)
+	h.mSealed = o.Counter("hurricane_stream_windows_sealed_total", sl...)
+	h.mRetried = o.Counter("hurricane_stream_window_retries_total", sl...)
+	h.mWarm = o.Counter("hurricane_stream_warm_starts_total", sl...)
+	h.mLag = o.Histogram("hurricane_stream_watermark_lag_us", sl...)
 	// Cluster shutdown must unblock source polls and storage waits too.
 	go func() {
 		select {

@@ -2,6 +2,7 @@ package repro
 
 import (
 	"context"
+	"os"
 	"testing"
 	"time"
 
@@ -69,6 +70,12 @@ func BenchmarkPolicyAblation(b *testing.B) {
 				cfg := masterCfg()
 				cfg.Policies = v.policies(cfg)
 				cluster, err := hurricane.NewCluster(hurricane.ClusterConfig{
+					// Observability stays on (the shipping default) so the
+					// recorded numbers include its cost; HURRICANE_NOOBS=1
+					// re-runs the ablation with the observer disabled to
+					// re-measure that overhead (within run noise, per the
+					// A/B recorded in BENCH_policy.json).
+					DisableObs:   os.Getenv("HURRICANE_NOOBS") != "",
 					StorageNodes: 4,
 					ComputeNodes: 4,
 					SlotsPerNode: 2,
@@ -99,6 +106,7 @@ func BenchmarkPolicyAblation(b *testing.B) {
 					b.ReportMetric(float64(st.Clones), "clones")
 					b.ReportMetric(float64(st.Splits), "splits")
 					b.ReportMetric(float64(st.Isolations), "isolations")
+					dumpBenchMetrics(v.name, cluster)
 				}
 				cluster.Shutdown()
 			}
