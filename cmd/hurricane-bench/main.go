@@ -30,6 +30,12 @@
 // statistics-driven physical planning (skewed join with pre-isolated
 // heavy-hitter keys) on Zipf(1.3) probe keys — and writes
 // BENCH_plan.json.
+//
+// "vector" runs the data-plane benchmark on the real engine — the
+// Zipf(1.3) groupby with row-at-a-time versus vectorized batch versus
+// batch + heavy-key dense slots — and writes BENCH_vector.json.
+// "vector-check" re-runs the row and batch variants once and fails when
+// the batch/row speedup regresses >15% against the committed baseline.
 package main
 
 import (
@@ -115,6 +121,8 @@ var engineBenches = map[string]func() error{
 	"sched":           schedBench,
 	"stream":          streamBench,
 	"plan":            planBench,
+	"vector":          vectorBench,
+	"vector-check":    vectorCheck,
 }
 
 // validExperiments lists every runnable experiment name for error

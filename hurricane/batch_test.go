@@ -1,0 +1,44 @@
+package hurricane
+
+import "testing"
+
+func TestHeavySlots(t *testing.T) {
+	for _, n := range []int{1, heavyLinearMax, heavyLinearMax + 1, 32} {
+		keys := make([]uint64, 0, n)
+		for i := 0; i < n; i++ {
+			keys = append(keys, uint64(i)*0x1000+7)
+		}
+		keys = append(keys, keys[0]) // duplicate must be dropped
+		hs := NewHeavySlots[int64](keys)
+		if hs.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, hs.Len())
+		}
+		for _, k := range keys {
+			a, ok := hs.Slot(k)
+			if !ok {
+				t.Fatalf("n=%d: heavy key %d missed", n, k)
+			}
+			*a++
+		}
+		if _, ok := hs.Slot(0xdeadbeef); ok {
+			t.Fatalf("n=%d: tail key resolved to a slot", n)
+		}
+		var sum int64
+		hs.Each(func(k uint64, a *int64) { sum += *a })
+		// n+1 lookups hit (the duplicate key hits its slot twice).
+		if sum != int64(n)+1 {
+			t.Fatalf("n=%d: accumulated %d, want %d", n, sum, n+1)
+		}
+		if hs.Hits() != uint64(n)+1 || hs.Lookups() != uint64(n)+2 {
+			t.Fatalf("n=%d: hits=%d lookups=%d", n, hs.Hits(), hs.Lookups())
+		}
+	}
+	// The nil fast path is inert.
+	var nilSlots *HeavySlots[int]
+	if _, ok := nilSlots.Slot(1); ok || nilSlots.Len() != 0 {
+		t.Fatal("nil HeavySlots must miss everything")
+	}
+	if NewHeavySlots[int](nil) != nil {
+		t.Fatal("empty key set must return nil")
+	}
+}

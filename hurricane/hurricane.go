@@ -202,8 +202,13 @@ type Codec[T any] = chunk.Codec[T]
 var (
 	// Int64Of encodes int64 records.
 	Int64Of = chunk.Int64Codec{}
-	// Uint64Of encodes uint64 records.
+	// Uint64Of encodes uint64 records as varints — compact for small
+	// values (counters, enum-like keys).
 	Uint64Of = chunk.Uint64Codec{}
+	// Uint64FixedOf encodes uint64 records as fixed 8-byte words — the
+	// right choice for high-entropy fields (hashes, random payloads),
+	// where varints average over nine bytes and a per-value decode loop.
+	Uint64FixedOf = chunk.Uint64FixedCodec{}
 	// Float64Of encodes float64 records.
 	Float64Of = chunk.Float64Codec{}
 	// StringOf encodes string records.
@@ -316,6 +321,40 @@ func Load[T any](ctx context.Context, store *Store, bagName string, codec Codec[
 	return ins.Close()
 }
 
+// LoadBatch is Load on the vectorized data plane: values pack into
+// batch-encoded columnar chunks, so batch-capable readers (ForEachBatch,
+// the planner's batch loops) decode whole column vectors instead of
+// re-framing record-at-a-time. Requires a columnar codec; a row-only
+// codec falls back to Load. Results are interchangeable with Load's —
+// every reader accepts both layouts on the same bag.
+func LoadBatch[T any](ctx context.Context, store *Store, bagName string, codec Codec[T], values []T) error {
+	cc, ok := chunk.ColumnarOf(codec)
+	if !ok {
+		return Load(ctx, store, bagName, codec, values)
+	}
+	h := store.Bag(bagName)
+	ins := h.Inserter(ctx)
+	b := chunk.GetBatchBuilder(0, chunk.KindsOf(cc))
+	defer chunk.PutBatchBuilder(b)
+	size := store.ChunkSize()
+	for _, v := range values {
+		cc.EncodeColumn(b, 0, v)
+		b.EndRow()
+		if b.Size() >= size {
+			if err := ins.Insert(b.Encode()); err != nil {
+				return err
+			}
+			b.Clear()
+		}
+	}
+	if b.Rows() > 0 {
+		if err := ins.Insert(b.Encode()); err != nil {
+			return err
+		}
+	}
+	return ins.Close()
+}
+
 // Seal marks the named bag complete. Source bags must be sealed before the
 // application starts.
 func Seal(ctx context.Context, store *Store, bagName string) error {
@@ -344,20 +383,7 @@ func Collect[T any](ctx context.Context, store *Store, bagName string, codec Cod
 }
 
 func decodeAll[T any](codec Codec[T], c chunk.Chunk) ([]T, error) {
-	r := chunk.NewReader(c)
-	var out []T
-	for {
-		rec, err := r.Next()
-		if err == io.EOF {
-			return out, nil
-		}
-		if err != nil {
-			return nil, err
-		}
-		v, _, err := codec.Decode(rec)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
+	// The iterator dispatches per chunk, so collected bags may hold row
+	// and batch chunks in any mix.
+	return chunk.NewSliceIterator(codec, []chunk.Chunk{c}).Collect()
 }

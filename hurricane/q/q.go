@@ -25,6 +25,7 @@ import (
 	"context"
 
 	"repro/hurricane"
+	"repro/internal/chunk"
 	"repro/internal/plan"
 )
 
@@ -103,7 +104,24 @@ func (d *Dataset[T]) Sink(bag string) *Dataset[T] {
 }
 
 // anyCodec adapts a typed codec to the planner's untyped record plane.
-type anyCodec[T any] struct{ c hurricane.Codec[T] }
+// When the wrapped codec supports the columnar batch layout it also
+// satisfies plan.ColumnarAnyCodec, which makes the compiled stages run
+// vectorized batch loops; row-only codecs leave cc nil (ColKinds returns
+// nil) and the stages keep the record-at-a-time path.
+type anyCodec[T any] struct {
+	c     hurricane.Codec[T]
+	cc    chunk.ColumnCodec[T]
+	kinds []chunk.ColKind
+}
+
+func codecOf[T any](c hurricane.Codec[T]) anyCodec[T] {
+	a := anyCodec[T]{c: c}
+	if cc, ok := chunk.ColumnarOf(c); ok {
+		a.cc = cc
+		a.kinds = chunk.KindsOf(cc)
+	}
+	return a
+}
 
 func (a anyCodec[T]) EncodeAny(dst []byte, v any) []byte { return a.c.Encode(dst, v.(T)) }
 func (a anyCodec[T]) DecodeAny(rec []byte) (any, error) {
@@ -114,11 +132,28 @@ func (a anyCodec[T]) DecodeAny(rec []byte) (any, error) {
 	return v, nil
 }
 
+func (a anyCodec[T]) ColKinds() []chunk.ColKind { return a.kinds }
+
+func (a anyCodec[T]) EncodeColumnAny(b *chunk.BatchBuilder, v any) {
+	a.cc.EncodeColumn(b, 0, v.(T))
+}
+
+func (a anyCodec[T]) DecodeBatchAny(bt *chunk.Batch, out []any) ([]any, error) {
+	vals, _, err := a.cc.DecodeColumn(bt, 0, nil)
+	if err != nil {
+		return out, err
+	}
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
 // Scan reads a source bag. Load and seal it (hurricane.Load /
 // hurricane.Seal) before the compiled job runs — under the JobHandle.Bag
 // name for namespaced submissions.
 func Scan[T any](p *Plan, bag string, codec hurricane.Codec[T]) *Dataset[T] {
-	return &Dataset[T]{p: p, n: p.p.Scan(bag, anyCodec[T]{codec})}
+	return &Dataset[T]{p: p, n: p.p.Scan(bag, codecOf(codec))}
 }
 
 // Filter keeps the records pred accepts. pred is shared by every worker
@@ -132,7 +167,7 @@ func Filter[T any](d *Dataset[T], pred func(T) bool) *Dataset[T] {
 // compiled stage and must be stateless; use MapPerWorker for stateful
 // transforms.
 func Map[T, U any](d *Dataset[T], codec hurricane.Codec[U], fn func(T) U) *Dataset[U] {
-	n := d.p.p.Map(d.n, anyCodec[U]{codec}, func(v any) (any, error) { return fn(v.(T)), nil })
+	n := d.p.p.Map(d.n, codecOf(codec), func(v any) (any, error) { return fn(v.(T)), nil })
 	return &Dataset[U]{p: d.p, n: n}
 }
 
@@ -142,7 +177,7 @@ func Map[T, U any](d *Dataset[T], codec hurricane.Codec[U], fn func(T) U) *Datas
 // cost accounting, caches, counters — which would race if one closure
 // were shared across concurrent clones.
 func MapPerWorker[T, U any](d *Dataset[T], codec hurricane.Codec[U], factory func() func(T) U) *Dataset[U] {
-	n := d.p.p.MapPerWorker(d.n, anyCodec[U]{codec}, func() func(any) (any, error) {
+	n := d.p.p.MapPerWorker(d.n, codecOf(codec), func() func(any) (any, error) {
 		fn := factory()
 		return func(v any) (any, error) { return fn(v.(T)), nil }
 	})
@@ -153,7 +188,7 @@ func MapPerWorker[T, U any](d *Dataset[T], codec hurricane.Codec[U], factory fun
 // every worker of the compiled stage and must be stateless; see
 // MapPerWorker for stateful per-record operators.
 func FlatMap[T, U any](d *Dataset[T], codec hurricane.Codec[U], fn func(T, func(U) error) error) *Dataset[U] {
-	n := d.p.p.FlatMap(d.n, anyCodec[U]{codec}, func(v any, emit func(any) error) error {
+	n := d.p.p.FlatMap(d.n, codecOf(codec), func(v any, emit func(any) error) error {
 		return fn(v.(T), func(u U) error { return emit(u) })
 	})
 	return &Dataset[U]{p: d.p, n: n}
@@ -181,7 +216,7 @@ func AggregateByKey[T, A any](
 		Init:         func() any { return init() },
 		Add:          func(acc, rec any) any { return add(acc.(A), rec.(T)) },
 		Merge:        func(a, b any) any { return merge(a.(A), b.(A)) },
-		PartialCodec: anyCodec[hurricane.Pair[uint64, A]]{partialCodec},
+		PartialCodec: codecOf(partialCodec),
 		MakePartial: func(k uint64, acc any) any {
 			return hurricane.Pair[uint64, A]{First: k, Second: acc.(A)}
 		},
@@ -231,7 +266,7 @@ func Join[L, R, O any](
 	spec := plan.JoinSpec{
 		BuildKey: func(v any) uint64 { return buildKey(v.(L)) },
 		ProbeKey: func(v any) uint64 { return probeKey(v.(R)) },
-		Codec:    anyCodec[O]{codec},
+		Codec:    codecOf(codec),
 		Join: func(b, p any, emit func(any) error) error {
 			return join(b.(L), p.(R), func(o O) error { return emit(o) })
 		},

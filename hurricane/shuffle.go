@@ -1,8 +1,10 @@
 package hurricane
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"repro/internal/chunk"
 	"repro/internal/shuffle"
 )
 
@@ -35,6 +37,33 @@ type PartitionedWriter[T any] struct {
 	key   func(T) []byte
 	buf   []byte
 	kbuf  []byte
+
+	// Batch scatter state (see batch.go): the codec's columnar view,
+	// resolved lazily on the first WriteBatch, and one pooled batch
+	// builder per routing decision. Base partitions — the overwhelmingly
+	// common routing outcome — index a dense slice; isolation and
+	// sub-partition refs take the map (a struct-keyed map lookup per
+	// record is measurable at batch rates).
+	cc         chunk.ColumnCodec[T]
+	kinds      []chunk.ColKind
+	baseLeaves []*chunk.BatchBuilder
+	leaves     map[shuffle.RouteRef]*chunk.BatchBuilder
+	chunkSize  int
+	rowOnly    bool
+
+	// keyU64, when set (NewPartitionedWriterUint64), unlocks the
+	// uint64-native batch routing path: WriteBatch hashes and counts keys
+	// as words instead of materializing an 8-byte encoding per record.
+	// Placement is identical to the generic path by construction.
+	keyU64  func(T) uint64
+	u64keys []uint64
+
+	// Bulk-encode scatter state: the codec's bulk view (nil when any
+	// component codec lacks one) and reusable per-leaf row-index lists,
+	// dense for base partitions, mapped for isolation/sub-partition refs.
+	bulk    chunk.BulkColumnCodec[T]
+	baseIdx [][]int32
+	mapIdx  map[shuffle.RouteRef][]int32
 }
 
 // NewPartitionedWriter returns a partitioned writer for output out, which
@@ -65,8 +94,11 @@ func NewPartitionedWriterWith[T any](tc *TaskCtx, out int, codec Codec[T], key f
 		Obs:         tc.Obs(),
 		Job:         tc.Job(),
 	})
-	tc.OnFinish(w.Close)
-	return &PartitionedWriter[T]{w: w, codec: codec, key: key}
+	pw := &PartitionedWriter[T]{w: w, codec: codec, key: key, chunkSize: tc.Store().ChunkSize()}
+	// pw.close (not w.Close) so pending batch builders flush before the
+	// shuffle writer's inserters shut down.
+	tc.OnFinish(pw.close)
+	return pw
 }
 
 // Write routes one record to its partition.
@@ -76,16 +108,25 @@ func (pw *PartitionedWriter[T]) Write(v T) error {
 	return pw.w.Write(pw.kbuf, pw.buf)
 }
 
+// NewPartitionedWriterUint64 is NewPartitionedWriter for uint64-keyed
+// records (keys identified by their 8-byte little-endian encoding, the
+// Uint64Key convention). Row-path Write behaves exactly like
+// NewPartitionedWriter with Uint64Key(key); WriteBatch additionally
+// routes on the key words directly, skipping the per-record byte
+// round-trip.
+func NewPartitionedWriterUint64[T any](tc *TaskCtx, out int, codec Codec[T], key func(T) uint64) *PartitionedWriter[T] {
+	pw := NewPartitionedWriterWith(tc, out, codec, Uint64Key(key), nil)
+	pw.keyU64 = key
+	return pw
+}
+
 // Uint64Key adapts a uint64-keyed extractor into the []byte key form
 // PartitionedWriter expects (little-endian, allocation-free at the call
 // site via the writer's internal buffer).
 func Uint64Key[T any](f func(T) uint64) func(T) []byte {
 	var buf [8]byte
 	return func(v T) []byte {
-		k := f(v)
-		for i := 0; i < 8; i++ {
-			buf[i] = byte(k >> (8 * i))
-		}
+		binary.LittleEndian.PutUint64(buf[:], f(v))
 		return buf[:]
 	}
 }

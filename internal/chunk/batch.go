@@ -1,0 +1,971 @@
+// Columnar batch layout: the vectorized alternative to row framing.
+//
+// A batch chunk stores one section per column instead of one frame per
+// record. The header carries a schema tag and the row count, then each
+// column is a length-prefixed vector: varint columns hold back-to-back
+// uvarints, fixed columns hold 8-byte little-endian values, and blob
+// columns come in (lengths, bytes) pairs. Because every row codec in this
+// package encodes a value as the concatenation of its fields' encodings,
+// a batch is generically convertible back to row records (BatchReader)
+// without knowing the schema — that conversion is the universal row↔batch
+// adapter at boundaries that are not batch-capable yet.
+//
+// Batch chunks are self-identifying: they open with a magic prefix that
+// no valid row chunk can produce (an empty record followed by an
+// overlong uvarint), so a row Reader pointed at a batch fails with
+// ErrCorrupt instead of silently misparsing, and batch-aware consumers
+// dispatch per chunk — mixing row and batch chunks in one bag is legal.
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// batchMagic opens every batch chunk. The leading 0x00 reads as an empty
+// record and the ten 0x80 continuation bytes overflow a uvarint, so a row
+// Reader deterministically returns ErrCorrupt — no valid row chunk can
+// begin with this sequence.
+var batchMagic = [11]byte{0x00, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80}
+
+// batchVersion is the current batch header version.
+const batchVersion = 1
+
+const (
+	maxBatchCols = 256
+	maxBatchRows = 1 << 28
+)
+
+// ErrNotColumnar is returned when a batch operation is attempted through
+// a codec whose components do not all support the column layout.
+var ErrNotColumnar = errors.New("chunk: codec is not columnar")
+
+// ColKind identifies the physical layout of one batch column.
+type ColKind byte
+
+const (
+	// ColVarint holds back-to-back uvarints (zig-zag encoded for signed
+	// values), one per row.
+	ColVarint ColKind = 1
+	// ColFixed8 holds 8-byte little-endian values, one per row.
+	ColFixed8 ColKind = 2
+	// ColLen holds back-to-back uvarint lengths for the ColBytes column
+	// that must immediately follow it.
+	ColLen ColKind = 3
+	// ColBytes holds the concatenated payloads sliced by the preceding
+	// ColLen column.
+	ColBytes ColKind = 4
+)
+
+func (k ColKind) valid() bool { return k >= ColVarint && k <= ColBytes }
+
+// IsBatch reports whether c is a batch chunk. Row and batch chunks are
+// mutually exclusive, so this is the dispatch point for every consumer
+// that understands both formats.
+func IsBatch(c Chunk) bool {
+	return len(c) > len(batchMagic) && string(c[:len(batchMagic)]) == string(batchMagic[:])
+}
+
+// A Col is one decoded column of a batch. Data aliases the chunk.
+type Col struct {
+	Kind ColKind
+	Data []byte
+}
+
+// A Batch is the decoded view of a batch chunk. Column data aliases the
+// chunk, so a Batch is only valid while the chunk is.
+type Batch struct {
+	Tag  uint64
+	Rows int
+	Cols []Col
+}
+
+// DecodeBatch parses the batch chunk c. If into is non-nil its storage is
+// reused. Malformed headers and out-of-bounds column extents return
+// ErrCorrupt, never panic.
+func DecodeBatch(c Chunk, into *Batch) (*Batch, error) {
+	if !IsBatch(c) {
+		return nil, fmt.Errorf("%w: missing batch magic", ErrCorrupt)
+	}
+	off := len(batchMagic)
+	if c[off] != batchVersion {
+		return nil, fmt.Errorf("%w: unknown batch version %d", ErrCorrupt, c[off])
+	}
+	off++
+	tag, n := binary.Uvarint(c[off:])
+	if n <= 0 {
+		return nil, fmt.Errorf("%w: bad batch tag", ErrCorrupt)
+	}
+	off += n
+	rows, n := binary.Uvarint(c[off:])
+	if n <= 0 || rows > maxBatchRows {
+		return nil, fmt.Errorf("%w: bad batch row count", ErrCorrupt)
+	}
+	off += n
+	ncols, n := binary.Uvarint(c[off:])
+	if n <= 0 || ncols > maxBatchCols {
+		return nil, fmt.Errorf("%w: bad batch column count", ErrCorrupt)
+	}
+	off += n
+	if ncols == 0 && rows != 0 {
+		return nil, fmt.Errorf("%w: rows without columns", ErrCorrupt)
+	}
+	if into == nil {
+		into = new(Batch)
+	}
+	into.Tag, into.Rows, into.Cols = tag, int(rows), into.Cols[:0]
+	pendLen := false
+	for i := uint64(0); i < ncols; i++ {
+		if off >= len(c) {
+			return nil, fmt.Errorf("%w: truncated column descriptor", ErrCorrupt)
+		}
+		kind := ColKind(c[off])
+		off++
+		if !kind.valid() {
+			return nil, fmt.Errorf("%w: unknown column kind %d", ErrCorrupt, kind)
+		}
+		size, n := binary.Uvarint(c[off:])
+		if n <= 0 {
+			return nil, fmt.Errorf("%w: bad column length", ErrCorrupt)
+		}
+		off += n
+		end := off + int(size)
+		if int(size) < 0 || end < off || end > len(c) {
+			return nil, fmt.Errorf("%w: column extends past chunk", ErrCorrupt)
+		}
+		switch {
+		case pendLen && kind != ColBytes:
+			return nil, fmt.Errorf("%w: length column without bytes column", ErrCorrupt)
+		case !pendLen && kind == ColBytes:
+			return nil, fmt.Errorf("%w: bytes column without length column", ErrCorrupt)
+		case kind == ColFixed8 && size != rows*8:
+			return nil, fmt.Errorf("%w: fixed column size %d for %d rows", ErrCorrupt, size, rows)
+		}
+		pendLen = kind == ColLen
+		into.Cols = append(into.Cols, Col{Kind: kind, Data: c[off:end]})
+		off = end
+	}
+	if pendLen {
+		return nil, fmt.Errorf("%w: trailing length column", ErrCorrupt)
+	}
+	if off != len(c) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last column", ErrCorrupt, len(c)-off)
+	}
+	return into, nil
+}
+
+// batchRows reads only the row count from a batch chunk's header, without
+// touching column payloads — O(header) regardless of batch size.
+func batchRows(c Chunk) (int, error) {
+	off := len(batchMagic)
+	if c[off] != batchVersion {
+		return 0, fmt.Errorf("%w: unknown batch version %d", ErrCorrupt, c[off])
+	}
+	off++
+	_, n := binary.Uvarint(c[off:]) // tag
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad batch tag", ErrCorrupt)
+	}
+	off += n
+	rows, n := binary.Uvarint(c[off:])
+	if n <= 0 || rows > maxBatchRows {
+		return 0, fmt.Errorf("%w: bad batch row count", ErrCorrupt)
+	}
+	return int(rows), nil
+}
+
+// ---- batch building ----
+
+// BatchBuilder accumulates column vectors for one batch. Values are
+// appended field-by-field through a ColumnCodec's EncodeColumn, rows are
+// delimited with EndRow, and Encode serializes the whole batch in a
+// single allocation. Builders are reusable (Clear) and poolable
+// (GetBatchBuilder/PutBatchBuilder).
+type BatchBuilder struct {
+	tag   uint64
+	kinds []ColKind
+	cols  [][]byte
+	rows  int
+	bytes int
+}
+
+// NewBatchBuilder returns a builder for batches with the given schema tag
+// and column kinds.
+func NewBatchBuilder(tag uint64, kinds []ColKind) *BatchBuilder {
+	b := new(BatchBuilder)
+	b.Reset(tag, kinds)
+	return b
+}
+
+// Reset re-targets the builder at a new schema, keeping column capacity.
+func (b *BatchBuilder) Reset(tag uint64, kinds []ColKind) {
+	b.tag = tag
+	b.kinds = append(b.kinds[:0], kinds...)
+	for len(b.cols) < len(b.kinds) {
+		b.cols = append(b.cols, nil)
+	}
+	b.cols = b.cols[:len(b.kinds)]
+	b.Clear()
+}
+
+// Clear drops buffered rows, keeping the schema and column capacity.
+func (b *BatchBuilder) Clear() {
+	for i := range b.cols {
+		b.cols[i] = b.cols[i][:0]
+	}
+	b.rows, b.bytes = 0, 0
+}
+
+// Rows reports the number of completed rows.
+func (b *BatchBuilder) Rows() int { return b.rows }
+
+// Size reports the encoded size estimate: column payload bytes plus the
+// per-batch header overhead. Writers flush when it reaches the chunk size.
+func (b *BatchBuilder) Size() int {
+	return b.bytes + len(batchMagic) + 1 + 3*binary.MaxVarintLen64 + len(b.kinds)*(1+binary.MaxVarintLen64)
+}
+
+// EndRow marks the current row complete. Every column must have received
+// exactly one value since the previous EndRow.
+func (b *BatchBuilder) EndRow() { b.rows++ }
+
+// EndRows delimits n rows at once — the bulk-encode counterpart of
+// EndRow for column-major fills (see BulkColumnCodec).
+func (b *BatchBuilder) EndRows(n int) { b.rows += n }
+
+// AppendUvarint appends one uvarint value to a ColVarint column.
+func (b *BatchBuilder) AppendUvarint(col int, v uint64) {
+	n := len(b.cols[col])
+	b.cols[col] = binary.AppendUvarint(b.cols[col], v)
+	b.bytes += len(b.cols[col]) - n
+}
+
+// AppendVarint appends one zig-zag varint value to a ColVarint column.
+func (b *BatchBuilder) AppendVarint(col int, v int64) {
+	n := len(b.cols[col])
+	b.cols[col] = binary.AppendVarint(b.cols[col], v)
+	b.bytes += len(b.cols[col]) - n
+}
+
+// AppendFixed8 appends one 8-byte little-endian value to a ColFixed8 column.
+func (b *BatchBuilder) AppendFixed8(col int, v uint64) {
+	b.cols[col] = binary.LittleEndian.AppendUint64(b.cols[col], v)
+	b.bytes += 8
+}
+
+// AppendBlob appends one variable-length value to a (ColLen, ColBytes)
+// column pair rooted at col.
+func (b *BatchBuilder) AppendBlob(col int, p []byte) {
+	n := len(b.cols[col])
+	b.cols[col] = binary.AppendUvarint(b.cols[col], uint64(len(p)))
+	b.bytes += len(b.cols[col]) - n
+	b.cols[col+1] = append(b.cols[col+1], p...)
+	b.bytes += len(p)
+}
+
+// AppendBlobString is AppendBlob for strings, avoiding a []byte conversion.
+func (b *BatchBuilder) AppendBlobString(col int, s string) {
+	n := len(b.cols[col])
+	b.cols[col] = binary.AppendUvarint(b.cols[col], uint64(len(s)))
+	b.bytes += len(b.cols[col]) - n
+	b.cols[col+1] = append(b.cols[col+1], s...)
+	b.bytes += len(s)
+}
+
+// Encode serializes the buffered rows as a batch chunk. The returned
+// chunk is freshly allocated; the builder can be cleared and reused.
+func (b *BatchBuilder) Encode() Chunk {
+	out := make([]byte, 0, b.Size())
+	out = append(out, batchMagic[:]...)
+	out = append(out, batchVersion)
+	out = binary.AppendUvarint(out, b.tag)
+	out = binary.AppendUvarint(out, uint64(b.rows))
+	out = binary.AppendUvarint(out, uint64(len(b.kinds)))
+	for i, k := range b.kinds {
+		out = append(out, byte(k))
+		out = binary.AppendUvarint(out, uint64(len(b.cols[i])))
+		out = append(out, b.cols[i]...)
+	}
+	return Chunk(out)
+}
+
+var batchBuilderPool = sync.Pool{New: func() any { return new(BatchBuilder) }}
+
+// GetBatchBuilder returns a pooled builder reset to the given schema, so
+// per-partition scatter paths do not allocate a fresh builder per chunk.
+func GetBatchBuilder(tag uint64, kinds []ColKind) *BatchBuilder {
+	b := batchBuilderPool.Get().(*BatchBuilder)
+	b.Reset(tag, kinds)
+	return b
+}
+
+// PutBatchBuilder returns a builder to the pool.
+func PutBatchBuilder(b *BatchBuilder) { batchBuilderPool.Put(b) }
+
+// ---- columnar codecs ----
+
+// A ColumnCodec lays values out as column vectors inside batch chunks, in
+// addition to the row format. Composite codecs are columnar only when all
+// their components are, so Columnar must be consulted before using the
+// batch paths — ColumnarOf does both checks.
+type ColumnCodec[T any] interface {
+	Codec[T]
+	// Columnar reports whether this codec instance truly supports the
+	// column layout.
+	Columnar() bool
+	// AppendColKinds appends the kinds of the codec's columns to dst.
+	AppendColKinds(dst []ColKind) []ColKind
+	// EncodeColumn appends one value's fields to the builder's columns
+	// starting at column col and returns the next free column index. The
+	// caller delimits rows with EndRow.
+	EncodeColumn(b *BatchBuilder, col int, v T) int
+	// DecodeColumn decodes every row of the batch starting at column col,
+	// appending to out. It returns the grown slice and the next column
+	// index. Decoding does one allocation per column per batch, not per
+	// record.
+	DecodeColumn(bt *Batch, col int, out []T) ([]T, int, error)
+}
+
+// columnarResolver lets a composite codec hand ColumnarOf a view with its
+// sub-codecs already resolved, so the per-record EncodeColumn/DecodeColumn
+// calls skip dynamic interface conversion (assertE2I2/getitab show up in
+// profiles when resolution happens per call).
+type columnarResolver[T any] interface {
+	resolveColumnar() (ColumnCodec[T], bool)
+}
+
+// ColumnarOf returns the columnar view of codec if it has one. The view may
+// be a resolved wrapper rather than the codec itself: callers should resolve
+// once per stream, not per record.
+func ColumnarOf[T any](c Codec[T]) (ColumnCodec[T], bool) {
+	if r, ok := c.(columnarResolver[T]); ok {
+		return r.resolveColumnar()
+	}
+	return columnarView(c)
+}
+
+// columnarView is the plain (non-resolving) columnar check. Composite
+// codecs use it internally so their direct per-record methods stay
+// allocation-free; resolveColumnar allocates a wrapper, which is only
+// acceptable once per stream.
+func columnarView[T any](c Codec[T]) (ColumnCodec[T], bool) {
+	cc, ok := c.(ColumnCodec[T])
+	if ok && cc.Columnar() {
+		return cc, true
+	}
+	return nil, false
+}
+
+// BulkColumnCodec is an optional ColumnCodec extension for scatter
+// loops. EncodeRows appends the rows vs[idx[0]], vs[idx[1]], ... (all of
+// vs in order when idx is nil) starting at column col and returns the
+// next free column. Implementations fill column-major — a builder's
+// columns are independent buffers and only the final row count matters —
+// so a scatter pays one virtual call per leaf per batch instead of one
+// per record, and the caller accounts rows once with EndRows. BulkOK
+// reports whether this instance really supports the path (composite
+// codecs lose it when a component lacks it); check it before use. Bulk
+// views carry per-stream scratch: resolve one per producer (ColumnarOf +
+// BulkOf) and never share it across concurrent workers — unlike
+// EncodeColumn/DecodeColumn, EncodeRows is not stateless.
+type BulkColumnCodec[T any] interface {
+	BulkOK() bool
+	EncodeRows(b *BatchBuilder, col int, vs []T, idx []int32) int
+}
+
+// BulkOf returns codec's bulk-encode view, if it has one. Resolve once
+// per stream, like ColumnarOf.
+func BulkOf[T any](c ColumnCodec[T]) (BulkColumnCodec[T], bool) {
+	if bc, ok := c.(BulkColumnCodec[T]); ok && bc.BulkOK() {
+		return bc, true
+	}
+	return nil, false
+}
+
+// ScratchColumnCodec is an optional ColumnCodec extension for callers
+// that own their resolved view exclusively (one decode stream, one
+// goroutine): DecodeColumnScratch is DecodeColumn with the intermediate
+// column vectors drawn from per-stream scratch instead of allocated per
+// batch. Shared wrappers — e.g. the query planner's compiled codecs,
+// which fan one resolved view out to concurrent workers — must keep
+// calling the stateless DecodeColumn.
+type ScratchColumnCodec[T any] interface {
+	DecodeColumnScratch(bt *Batch, col int, out []T) ([]T, int, error)
+}
+
+// KindsOf returns codec's column kinds.
+func KindsOf[T any](c ColumnCodec[T]) []ColKind { return c.AppendColKinds(nil) }
+
+func (Uint64Codec) Columnar() bool { return true }
+
+func (Uint64Codec) AppendColKinds(dst []ColKind) []ColKind { return append(dst, ColVarint) }
+
+func (Uint64Codec) EncodeColumn(b *BatchBuilder, col int, v uint64) int {
+	b.AppendUvarint(col, v)
+	return col + 1
+}
+
+func (Uint64Codec) DecodeColumn(bt *Batch, col int, out []uint64) ([]uint64, int, error) {
+	data := bt.Cols[col].Data
+	out = growCap(out, bt.Rows)
+	for i, off := 0, 0; i < bt.Rows; i++ {
+		// Single-byte values dominate varint columns in practice (group
+		// IDs, counts, enum-ish keys). Scan them eight at a time: one
+		// 64-bit load whose high bits are all clear means eight complete
+		// varints, decoded with shifts instead of eight bounds-checked
+		// byte loads.
+		for off+8 <= len(data) && i+8 <= bt.Rows {
+			w := binary.LittleEndian.Uint64(data[off:])
+			if w&0x8080808080808080 != 0 {
+				break
+			}
+			out = append(out,
+				w&0xff, w>>8&0xff, w>>16&0xff, w>>24&0xff,
+				w>>32&0xff, w>>40&0xff, w>>48&0xff, w>>56)
+			off += 8
+			i += 8
+		}
+		if i >= bt.Rows {
+			break
+		}
+		if off < len(data) && data[off] < 0x80 {
+			out = append(out, uint64(data[off]))
+			off++
+			continue
+		}
+		v, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return out, col, fmt.Errorf("%w: varint column underflow at row %d", ErrCorrupt, i)
+		}
+		off += n
+		out = append(out, v)
+	}
+	return out, col + 1, nil
+}
+
+func (Int64Codec) Columnar() bool { return true }
+
+func (Int64Codec) AppendColKinds(dst []ColKind) []ColKind { return append(dst, ColVarint) }
+
+func (Int64Codec) EncodeColumn(b *BatchBuilder, col int, v int64) int {
+	b.AppendVarint(col, v)
+	return col + 1
+}
+
+func (Int64Codec) DecodeColumn(bt *Batch, col int, out []int64) ([]int64, int, error) {
+	data := bt.Cols[col].Data
+	out = growCap(out, bt.Rows)
+	for i, off := 0, 0; i < bt.Rows; i++ {
+		v, n := binary.Varint(data[off:])
+		if n <= 0 {
+			return out, col, fmt.Errorf("%w: varint column underflow at row %d", ErrCorrupt, i)
+		}
+		off += n
+		out = append(out, v)
+	}
+	return out, col + 1, nil
+}
+
+func (Uint64FixedCodec) Columnar() bool { return true }
+
+func (Uint64FixedCodec) AppendColKinds(dst []ColKind) []ColKind { return append(dst, ColFixed8) }
+
+func (Uint64FixedCodec) EncodeColumn(b *BatchBuilder, col int, v uint64) int {
+	b.AppendFixed8(col, v)
+	return col + 1
+}
+
+func (Uint64FixedCodec) DecodeColumn(bt *Batch, col int, out []uint64) ([]uint64, int, error) {
+	data := bt.Cols[col].Data
+	if len(data) != bt.Rows*8 {
+		return out, col, fmt.Errorf("%w: fixed column size mismatch", ErrCorrupt)
+	}
+	out = growCap(out, bt.Rows)
+	for i := 0; i < bt.Rows; i++ {
+		out = append(out, binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out, col + 1, nil
+}
+
+func (Float64Codec) Columnar() bool { return true }
+
+func (Float64Codec) AppendColKinds(dst []ColKind) []ColKind { return append(dst, ColFixed8) }
+
+func (Float64Codec) EncodeColumn(b *BatchBuilder, col int, v float64) int {
+	b.AppendFixed8(col, math.Float64bits(v))
+	return col + 1
+}
+
+func (Float64Codec) DecodeColumn(bt *Batch, col int, out []float64) ([]float64, int, error) {
+	data := bt.Cols[col].Data
+	if len(data) != bt.Rows*8 {
+		return out, col, fmt.Errorf("%w: fixed column size mismatch", ErrCorrupt)
+	}
+	out = growCap(out, bt.Rows)
+	for i := 0; i < bt.Rows; i++ {
+		out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:])))
+	}
+	return out, col + 1, nil
+}
+
+// blobSpans parses a (ColLen, ColBytes) pair into [start,end) offsets of
+// each row's payload inside the bytes column.
+func blobSpans(bt *Batch, col int, spans []int) ([]int, error) {
+	lens, bytes := bt.Cols[col].Data, bt.Cols[col+1].Data
+	spans = spans[:0]
+	off, pos := 0, 0
+	for i := 0; i < bt.Rows; i++ {
+		size, n := binary.Uvarint(lens[off:])
+		if n <= 0 {
+			return spans, fmt.Errorf("%w: length column underflow at row %d", ErrCorrupt, i)
+		}
+		off += n
+		end := pos + int(size)
+		if int(size) < 0 || end < pos || end > len(bytes) {
+			return spans, fmt.Errorf("%w: blob extends past bytes column at row %d", ErrCorrupt, i)
+		}
+		spans = append(spans, pos, end)
+		pos = end
+	}
+	return spans, nil
+}
+
+func (StringCodec) Columnar() bool { return true }
+
+func (StringCodec) AppendColKinds(dst []ColKind) []ColKind {
+	return append(dst, ColLen, ColBytes)
+}
+
+func (StringCodec) EncodeColumn(b *BatchBuilder, col int, v string) int {
+	b.AppendBlobString(col, v)
+	return col + 2
+}
+
+func (StringCodec) DecodeColumn(bt *Batch, col int, out []string) ([]string, int, error) {
+	spans, err := blobSpans(bt, col, nil)
+	if err != nil {
+		return out, col, err
+	}
+	// One string conversion for the whole column; rows are substring
+	// slices of it.
+	all := string(bt.Cols[col+1].Data)
+	out = growCap(out, bt.Rows)
+	for i := 0; i < len(spans); i += 2 {
+		out = append(out, all[spans[i]:spans[i+1]])
+	}
+	return out, col + 2, nil
+}
+
+func (BytesCodec) Columnar() bool { return true }
+
+func (BytesCodec) AppendColKinds(dst []ColKind) []ColKind {
+	return append(dst, ColLen, ColBytes)
+}
+
+func (BytesCodec) EncodeColumn(b *BatchBuilder, col int, v []byte) int {
+	b.AppendBlob(col, v)
+	return col + 2
+}
+
+// DecodeColumn's byte slices alias the batch's chunk, mirroring the row
+// Decode contract.
+func (BytesCodec) DecodeColumn(bt *Batch, col int, out [][]byte) ([][]byte, int, error) {
+	spans, err := blobSpans(bt, col, nil)
+	if err != nil {
+		return out, col, err
+	}
+	data := bt.Cols[col+1].Data
+	out = growCap(out, bt.Rows)
+	for i := 0; i < len(spans); i += 2 {
+		out = append(out, data[spans[i]:spans[i+1]:spans[i+1]])
+	}
+	return out, col + 2, nil
+}
+
+func (Uint64Codec) BulkOK() bool { return true }
+
+func (Uint64Codec) EncodeRows(b *BatchBuilder, col int, vs []uint64, idx []int32) int {
+	if idx == nil {
+		for _, v := range vs {
+			b.AppendUvarint(col, v)
+		}
+	} else {
+		for _, i := range idx {
+			b.AppendUvarint(col, vs[i])
+		}
+	}
+	return col + 1
+}
+
+func (Int64Codec) BulkOK() bool { return true }
+
+func (Int64Codec) EncodeRows(b *BatchBuilder, col int, vs []int64, idx []int32) int {
+	if idx == nil {
+		for _, v := range vs {
+			b.AppendVarint(col, v)
+		}
+	} else {
+		for _, i := range idx {
+			b.AppendVarint(col, vs[i])
+		}
+	}
+	return col + 1
+}
+
+func (Uint64FixedCodec) BulkOK() bool { return true }
+
+func (Uint64FixedCodec) EncodeRows(b *BatchBuilder, col int, vs []uint64, idx []int32) int {
+	if idx == nil {
+		for _, v := range vs {
+			b.AppendFixed8(col, v)
+		}
+	} else {
+		for _, i := range idx {
+			b.AppendFixed8(col, vs[i])
+		}
+	}
+	return col + 1
+}
+
+func (Float64Codec) BulkOK() bool { return true }
+
+func (Float64Codec) EncodeRows(b *BatchBuilder, col int, vs []float64, idx []int32) int {
+	if idx == nil {
+		for _, v := range vs {
+			b.AppendFixed8(col, math.Float64bits(v))
+		}
+	} else {
+		for _, i := range idx {
+			b.AppendFixed8(col, math.Float64bits(vs[i]))
+		}
+	}
+	return col + 1
+}
+
+func (c PairCodec[A, B]) Columnar() bool {
+	_, okA := columnarView(c.A)
+	_, okB := columnarView(c.B)
+	return okA && okB
+}
+
+func (c PairCodec[A, B]) AppendColKinds(dst []ColKind) []ColKind {
+	ca, okA := columnarView(c.A)
+	cb, okB := columnarView(c.B)
+	if !okA || !okB {
+		return dst
+	}
+	return cb.AppendColKinds(ca.AppendColKinds(dst))
+}
+
+// resolveColumnar returns a view with both sub-codecs resolved up front;
+// nested PairCodecs resolve recursively, so an arbitrarily deep tuple pays
+// for interface resolution once per stream instead of once per record.
+func (c PairCodec[A, B]) resolveColumnar() (ColumnCodec[Pair[A, B]], bool) {
+	ca, okA := ColumnarOf(c.A)
+	cb, okB := ColumnarOf(c.B)
+	if !okA || !okB {
+		return nil, false
+	}
+	r := resolvedPairCodec[A, B]{PairCodec: c, ca: ca, cb: cb}
+	// Pre-resolve the bulk-encode views too: the pair is bulk-encodable
+	// exactly when both halves are, and the scratch columns live on a
+	// pointer so the by-value interface copies share them.
+	if ba, ok := BulkOf(ca); ok {
+		if bb, ok := BulkOf(cb); ok {
+			r.ba, r.bb = ba, bb
+		}
+	}
+	// The scratch backs the stream-owned entry points (EncodeRows,
+	// DecodeColumnScratch); the plain ColumnCodec methods never touch it,
+	// so a shared wrapper stays safe as long as sharers stick to those.
+	r.sc = &pairScratch[A, B]{}
+	return r, true
+}
+
+// resolvedPairCodec is PairCodec with the columnar sub-codec lookups hoisted
+// out of the per-record path. It is what ColumnarOf hands back for pairs.
+type resolvedPairCodec[A, B any] struct {
+	PairCodec[A, B]
+	ca ColumnCodec[A]
+	cb ColumnCodec[B]
+	ba BulkColumnCodec[A]
+	bb BulkColumnCodec[B]
+	sc *pairScratch[A, B]
+}
+
+// pairScratch is the reusable column-gather buffer behind a resolved
+// pair's EncodeRows.
+type pairScratch[A, B any] struct {
+	as []A
+	bs []B
+}
+
+func (c resolvedPairCodec[A, B]) BulkOK() bool { return c.ba != nil && c.bb != nil }
+
+// EncodeRows splits the selected pairs into per-half column vectors once,
+// then hands each half to its sub-codec's bulk loop — two virtual calls
+// per leaf per batch, with the inner appends fully concrete.
+func (c resolvedPairCodec[A, B]) EncodeRows(b *BatchBuilder, col int, vs []Pair[A, B], idx []int32) int {
+	sc := c.sc
+	sc.as = sc.as[:0]
+	sc.bs = sc.bs[:0]
+	if idx == nil {
+		for i := range vs {
+			v := &vs[i]
+			sc.as = append(sc.as, v.First)
+			sc.bs = append(sc.bs, v.Second)
+		}
+	} else {
+		for _, i := range idx {
+			v := &vs[i]
+			sc.as = append(sc.as, v.First)
+			sc.bs = append(sc.bs, v.Second)
+		}
+	}
+	col = c.ba.EncodeRows(b, col, sc.as, nil)
+	col = c.bb.EncodeRows(b, col, sc.bs, nil)
+	return col
+}
+
+func (c resolvedPairCodec[A, B]) EncodeColumn(b *BatchBuilder, col int, v Pair[A, B]) int {
+	return c.cb.EncodeColumn(b, c.ca.EncodeColumn(b, col, v.First), v.Second)
+}
+
+func (c resolvedPairCodec[A, B]) DecodeColumn(bt *Batch, col int, out []Pair[A, B]) ([]Pair[A, B], int, error) {
+	return pairDecodeColumn(c.ca, c.cb, bt, col, out)
+}
+
+func (c resolvedPairCodec[A, B]) DecodeColumnScratch(bt *Batch, col int, out []Pair[A, B]) ([]Pair[A, B], int, error) {
+	sc := c.sc
+	as, col, err := c.ca.DecodeColumn(bt, col, sc.as[:0])
+	if err != nil {
+		sc.as = as[:0]
+		return out, col, err
+	}
+	bs, col, err := c.cb.DecodeColumn(bt, col, sc.bs[:0])
+	sc.as, sc.bs = as[:0], bs[:0]
+	if err != nil {
+		return out, col, err
+	}
+	if len(as) != len(bs) {
+		return out, col, fmt.Errorf("%w: pair column row mismatch", ErrCorrupt)
+	}
+	out = growCap(out, len(as))
+	for i := range as {
+		out = append(out, Pair[A, B]{First: as[i], Second: bs[i]})
+	}
+	return out, col, nil
+}
+
+func (c PairCodec[A, B]) EncodeColumn(b *BatchBuilder, col int, v Pair[A, B]) int {
+	ca, _ := columnarView(c.A)
+	cb, _ := columnarView(c.B)
+	return cb.EncodeColumn(b, ca.EncodeColumn(b, col, v.First), v.Second)
+}
+
+func (c PairCodec[A, B]) DecodeColumn(bt *Batch, col int, out []Pair[A, B]) ([]Pair[A, B], int, error) {
+	ca, okA := columnarView(c.A)
+	cb, okB := columnarView(c.B)
+	if !okA || !okB {
+		return out, col, ErrNotColumnar
+	}
+	return pairDecodeColumn(ca, cb, bt, col, out)
+}
+
+func pairDecodeColumn[A, B any](ca ColumnCodec[A], cb ColumnCodec[B], bt *Batch, col int, out []Pair[A, B]) ([]Pair[A, B], int, error) {
+	// The half-column temporaries are allocated per call on purpose:
+	// resolved wrappers are shared across concurrent workers by the query
+	// planner's compiled codecs, so DecodeColumn must stay stateless.
+	as, col, err := ca.DecodeColumn(bt, col, make([]A, 0, bt.Rows))
+	if err != nil {
+		return out, col, err
+	}
+	bs, col, err := cb.DecodeColumn(bt, col, make([]B, 0, bt.Rows))
+	if err != nil {
+		return out, col, err
+	}
+	if len(as) != len(bs) {
+		return out, col, fmt.Errorf("%w: pair column row mismatch", ErrCorrupt)
+	}
+	out = growCap(out, len(as))
+	for i := range as {
+		out = append(out, Pair[A, B]{First: as[i], Second: bs[i]})
+	}
+	return out, col, nil
+}
+
+func (KVCodec) Columnar() bool { return true }
+
+func (KVCodec) AppendColKinds(dst []ColKind) []ColKind {
+	return append(dst, ColLen, ColBytes, ColLen, ColBytes)
+}
+
+func (KVCodec) EncodeColumn(b *BatchBuilder, col int, v KV) int {
+	b.AppendBlobString(col, v.Key)
+	b.AppendBlob(col+2, v.Value)
+	return col + 4
+}
+
+func (KVCodec) DecodeColumn(bt *Batch, col int, out []KV) ([]KV, int, error) {
+	keys, col, err := (StringCodec{}).DecodeColumn(bt, col, make([]string, 0, bt.Rows))
+	if err != nil {
+		return out, col, err
+	}
+	vals, col, err := (BytesCodec{}).DecodeColumn(bt, col, make([][]byte, 0, bt.Rows))
+	if err != nil {
+		return out, col, err
+	}
+	out = growCap(out, len(keys))
+	for i := range keys {
+		out = append(out, KV{Key: keys[i], Value: vals[i]})
+	}
+	return out, col, nil
+}
+
+func growCap[T any](s []T, n int) []T {
+	if cap(s)-len(s) >= n {
+		return s
+	}
+	grown := make([]T, len(s), len(s)+n)
+	copy(grown, s)
+	return grown
+}
+
+// ---- batch writer ----
+
+// BatchWriter serializes values of type T into batch chunks through a
+// columnar codec, one column section per field, flushing when the
+// builder's size estimate reaches Size.
+type BatchWriter[T any] struct {
+	Size  int
+	Emit  func(Chunk) error
+	codec ColumnCodec[T]
+	b     *BatchBuilder
+	tag   uint64
+}
+
+// NewBatchWriter returns a BatchWriter emitting batch chunks of roughly
+// size bytes through emit, or ok=false when codec is not columnar — the
+// caller falls back to the row TypedWriter.
+func NewBatchWriter[T any](codec Codec[T], tag uint64, size int, emit func(Chunk) error) (*BatchWriter[T], bool) {
+	cc, ok := ColumnarOf(codec)
+	if !ok {
+		return nil, false
+	}
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &BatchWriter[T]{
+		Size:  size,
+		Emit:  emit,
+		codec: cc,
+		b:     GetBatchBuilder(tag, KindsOf(cc)),
+		tag:   tag,
+	}, true
+}
+
+// Write appends one value as a row of the current batch.
+func (w *BatchWriter[T]) Write(v T) error {
+	w.codec.EncodeColumn(w.b, 0, v)
+	w.b.EndRow()
+	if w.b.Size() >= w.Size {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Flush emits the buffered batch, if any.
+func (w *BatchWriter[T]) Flush() error {
+	if w.b.Rows() == 0 {
+		return nil
+	}
+	c := w.b.Encode()
+	w.b.Clear()
+	if w.Emit == nil {
+		return nil
+	}
+	return w.Emit(c)
+}
+
+// Close flushes and returns the builder to the pool. The writer must not
+// be used afterwards.
+func (w *BatchWriter[T]) Close() error {
+	err := w.Flush()
+	PutBatchBuilder(w.b)
+	w.b = nil
+	return err
+}
+
+// ---- generic batch → row adapter ----
+
+// BatchReader re-frames a decoded batch as row-encoded records without
+// knowing the schema: each record is the concatenation of the row's
+// per-column encodings, which is exactly the row format every codec in
+// this package produces. The returned record is valid until the next call
+// to Next or Reset.
+type BatchReader struct {
+	bt      *Batch
+	row     int
+	offs    []int
+	pendLen uint64
+	buf     []byte
+}
+
+// NewBatchReader returns a BatchReader over bt.
+func NewBatchReader(bt *Batch) *BatchReader {
+	r := new(BatchReader)
+	r.Reset(bt)
+	return r
+}
+
+// Reset re-points the reader at bt, retaining allocations.
+func (r *BatchReader) Reset(bt *Batch) {
+	r.bt, r.row, r.pendLen = bt, 0, 0
+	r.offs = r.offs[:0]
+	for range bt.Cols {
+		r.offs = append(r.offs, 0)
+	}
+}
+
+// Next returns the next row as a row-encoded record, or io.EOF after the
+// last row. The record aliases an internal buffer reused across calls.
+func (r *BatchReader) Next() ([]byte, error) {
+	if r.row >= r.bt.Rows {
+		return nil, io.EOF
+	}
+	r.buf = r.buf[:0]
+	for i, col := range r.bt.Cols {
+		data, off := col.Data, r.offs[i]
+		switch col.Kind {
+		case ColVarint, ColLen:
+			v, n := binary.Uvarint(data[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: varint column underflow at row %d", ErrCorrupt, r.row)
+			}
+			r.buf = append(r.buf, data[off:off+n]...)
+			r.offs[i] = off + n
+			if col.Kind == ColLen {
+				r.pendLen = v
+			}
+		case ColFixed8:
+			if off+8 > len(data) {
+				return nil, fmt.Errorf("%w: fixed column underflow at row %d", ErrCorrupt, r.row)
+			}
+			r.buf = append(r.buf, data[off:off+8]...)
+			r.offs[i] = off + 8
+		case ColBytes:
+			end := off + int(r.pendLen)
+			if int(r.pendLen) < 0 || end < off || end > len(data) {
+				return nil, fmt.Errorf("%w: blob extends past bytes column at row %d", ErrCorrupt, r.row)
+			}
+			r.buf = append(r.buf, data[off:end]...)
+			r.offs[i] = end
+		}
+	}
+	r.row++
+	return r.buf, nil
+}

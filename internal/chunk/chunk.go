@@ -103,9 +103,18 @@ type Reader struct {
 // NewReader returns a Reader over c.
 func NewReader(c Chunk) *Reader { return &Reader{data: c} }
 
+// Reset re-points the reader at c, retaining the allocation so one Reader
+// can serve a whole scan instead of being re-allocated per chunk.
+func (r *Reader) Reset(c Chunk) { r.data, r.off = c, 0 }
+
 // Next returns the next record, or io.EOF when the chunk is exhausted.
 // The returned slice aliases the chunk; callers must not modify it.
+// Pointing a row Reader at a columnar batch chunk returns ErrCorrupt —
+// batch-capable consumers must dispatch on IsBatch first.
 func (r *Reader) Next() ([]byte, error) {
+	if r.off == 0 && IsBatch(r.data) {
+		return nil, fmt.Errorf("%w: batch chunk read through row reader", ErrCorrupt)
+	}
 	if r.off >= len(r.data) {
 		return nil, io.EOF
 	}
@@ -126,23 +135,51 @@ func (r *Reader) Next() ([]byte, error) {
 func (r *Reader) Remaining() bool { return r.off < len(r.data) }
 
 // Count returns the number of records framed in c, or an error if the
-// framing is corrupt.
+// framing is corrupt. Batch chunks answer from the header in O(1); row
+// chunks are counted by skipping payloads with offset arithmetic, never
+// materializing a record.
 func Count(c Chunk) (int, error) {
-	r := NewReader(c)
-	n := 0
-	for {
-		if _, err := r.Next(); err != nil {
-			if err == io.EOF {
-				return n, nil
-			}
-			return n, err
+	if IsBatch(c) {
+		return batchRows(c)
+	}
+	n, off := 0, 0
+	for off < len(c) {
+		size, k := binary.Uvarint(c[off:])
+		if k <= 0 {
+			return n, ErrCorrupt
 		}
+		end := off + k + int(size)
+		if int(size) < 0 || end < off || end > len(c) {
+			return n, ErrCorrupt
+		}
+		off = end
 		n++
 	}
+	return n, nil
 }
 
-// Records returns all records framed in c.
+// Records returns all records framed in c. Batch chunks are re-framed
+// through the generic batch→row adapter; those records are copies (the
+// adapter reuses its buffer), while row-chunk records alias c.
 func Records(c Chunk) ([][]byte, error) {
+	if IsBatch(c) {
+		bt, err := DecodeBatch(c, nil)
+		if err != nil {
+			return nil, err
+		}
+		br := NewBatchReader(bt)
+		out := make([][]byte, 0, bt.Rows)
+		for {
+			rec, err := br.Next()
+			if err != nil {
+				if err == io.EOF {
+					return out, nil
+				}
+				return nil, err
+			}
+			out = append(out, append([]byte(nil), rec...))
+		}
+	}
 	r := NewReader(c)
 	var out [][]byte
 	for {

@@ -57,6 +57,24 @@ func (Uint64Codec) Decode(record []byte) (uint64, int, error) {
 	return v, n, nil
 }
 
+// Uint64FixedCodec encodes uint64 values as fixed 8-byte little-endian
+// words. It is the right choice for high-entropy fields (hashes, random
+// identifiers, opaque payloads): a uniformly random uint64 averages more
+// than nine bytes as a varint and costs a ten-iteration decode loop per
+// value, where the fixed layout is one load.
+type Uint64FixedCodec struct{}
+
+func (Uint64FixedCodec) Encode(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func (Uint64FixedCodec) Decode(record []byte) (uint64, int, error) {
+	if len(record) < 8 {
+		return 0, 0, ErrShortRecord
+	}
+	return binary.LittleEndian.Uint64(record), 8, nil
+}
+
 // Float64Codec encodes float64 values as fixed 8-byte little-endian IEEE 754.
 type Float64Codec struct{}
 
@@ -197,13 +215,20 @@ func (t *TypedWriter[T]) Write(v T) error {
 // Flush emits any buffered partial chunk.
 func (t *TypedWriter[T]) Flush() error { return t.W.Flush() }
 
-// Iterator deserializes values of type T from a stream of chunks.
+// Iterator deserializes values of type T from a stream of chunks. Row and
+// batch chunks may be freely mixed in one stream: batch chunks decode
+// through the codec's columnar path when it has one, and through the
+// generic batch→row adapter otherwise.
 type Iterator[T any] struct {
 	Codec Codec[T]
 	// Next fetches the next chunk, returning io.EOF at end of stream.
 	Source func() (Chunk, error)
 
-	r *Reader
+	r   *Reader
+	vec []T
+	vi  int
+	bt  Batch
+	br  *BatchReader
 }
 
 // NewIterator returns an Iterator decoding values from chunks supplied by
@@ -229,6 +254,11 @@ func NewSliceIterator[T any](codec Codec[T], chunks []Chunk) *Iterator[T] {
 func (it *Iterator[T]) Next() (T, error) {
 	var zero T
 	for {
+		if it.vi < len(it.vec) {
+			v := it.vec[it.vi]
+			it.vi++
+			return v, nil
+		}
 		if it.r != nil {
 			rec, err := it.r.Next()
 			if err == nil {
@@ -244,7 +274,52 @@ func (it *Iterator[T]) Next() (T, error) {
 		if err != nil {
 			return zero, err
 		}
-		it.r = NewReader(c)
+		if IsBatch(c) {
+			if err := it.loadBatch(c); err != nil {
+				return zero, err
+			}
+			continue
+		}
+		if it.r == nil {
+			it.r = NewReader(c)
+		} else {
+			it.r.Reset(c)
+		}
+	}
+}
+
+// loadBatch decodes one batch chunk into the iterator's value vector.
+func (it *Iterator[T]) loadBatch(c Chunk) error {
+	bt, err := DecodeBatch(c, &it.bt)
+	if err != nil {
+		return err
+	}
+	it.vec, it.vi = it.vec[:0], 0
+	if cc, ok := ColumnarOf(it.Codec); ok {
+		it.vec, _, err = cc.DecodeColumn(bt, 0, it.vec)
+		return err
+	}
+	// Row↔batch adapter: re-frame rows and decode each through the row
+	// codec. Records are copied because Decode may alias them (the
+	// adapter reuses its buffer across rows).
+	if it.br == nil {
+		it.br = NewBatchReader(bt)
+	} else {
+		it.br.Reset(bt)
+	}
+	for {
+		rec, err := it.br.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		v, _, err := it.Codec.Decode(append([]byte(nil), rec...))
+		if err != nil {
+			return err
+		}
+		it.vec = append(it.vec, v)
 	}
 }
 

@@ -1350,25 +1350,36 @@ func (m *Master) finishTask(st *taskState) error {
 				return err
 			}
 		}
-		// A sealed shuffle edge splits no further; its sketch state on
-		// the storage tier has served its purpose. Capture the final
-		// merged sketch first — short jobs (streaming windows) often seal
-		// before the hub's rate-limited fetch ever ran, and this is the
-		// last chance to learn the edge's key distribution for
-		// EdgeMemory. Best-effort (memory is advisory) and skipped when
-		// no installed policy consumes edge sketches — such jobs never
-		// had sketch-driven mitigation, so batch deployments without it
-		// pay no extra completion-path RPC.
+		// A sealed shuffle edge splits no further, so its per-writer
+		// sketch state on the storage tier has served its routing
+		// purpose. Capture the final merged sketch first — short jobs
+		// (streaming windows) often seal before the hub's rate-limited
+		// fetch ever ran, and this is the last chance to learn the
+		// edge's key distribution for EdgeMemory — then wipe the
+		// per-writer slot state and republish the merged view under a
+		// single sentinel writer. The republish is what the consumer
+		// side's warm fast path (WarmTopKeys64 seeding dense heavy-key
+		// accumulator slots) reads: consumers of a partitioned edge are
+		// scheduled only after the edge seals (§4.1), so without it the
+		// sketch would always be gone before any consumer could look.
+		// Best-effort throughout (the sketch is advisory); the merged
+		// copy is deleted with the rest of the job's derived state on
+		// Discard/Reset.
 		if edge := m.edges[b]; edge != nil {
-			if m.wantsStats {
-				if stats, err := m.store.FetchSketch(m.ctx, b); err == nil && stats.Total() > 0 {
-					m.mu.Lock()
-					edge.lastStats = stats
-					m.mu.Unlock()
-				}
+			stats, err := m.store.FetchSketch(m.ctx, b)
+			if err != nil || stats.Total() == 0 {
+				stats = nil
+			}
+			if stats != nil && m.wantsStats {
+				m.mu.Lock()
+				edge.lastStats = stats
+				m.mu.Unlock()
 			}
 			if err := m.store.DeleteSketch(m.ctx, b); err != nil {
 				return err
+			}
+			if stats != nil {
+				_ = m.store.PushSketch(m.ctx, b, "!final", stats)
 			}
 		}
 	}

@@ -198,7 +198,9 @@ func (m *Master) applyIsolate(act ctrl.IsolateKey) (bool, error) {
 		fan = 1
 	}
 	next := pmap.Clone()
-	next.Isolated = append(next.Isolated, shuffle.Isolation{Hash: hash, Fan: fan})
+	next.Isolated = append(next.Isolated, shuffle.Isolation{
+		Hash: hash, Fan: fan, Key: append([]byte(nil), act.Key...),
+	})
 	next.Version++
 	if err := m.publishMap(edge, next); err != nil {
 		return false, err

@@ -582,7 +582,10 @@ func (c *compiler) emitTask(s *stage) {
 
 // runStage executes one compiled stage inside a worker. All per-run
 // state (aggregation maps, top-k buffers, build tables) is created here,
-// so any number of workers run the same stage concurrently.
+// so any number of workers run the same stage concurrently. Stages whose
+// input codec supports the columnar batch layout run the vectorized loop
+// (vector.go); everything else streams record-at-a-time. Both paths
+// produce identical records — the choice is purely physical.
 func runStage(tc *core.TaskCtx, s *stage) error {
 	builds := make(map[*Node]map[uint64][]any, len(s.scans))
 	for i, b := range s.scans {
@@ -596,9 +599,15 @@ func runStage(tc *core.TaskCtx, s *stage) error {
 			}
 		}
 	}
-	sinkFn, err := stageSink(tc, s)
+	sinkFn, err := stageVecSink(tc, s)
 	if err != nil {
 		return err
+	}
+	if in := columnarOf(s.inCodec); in != nil && !s.finalize {
+		// Batch loop: the vectorizable prefix runs over whole vectors;
+		// the remaining ops and the sink form the per-record tail.
+		feed, finishAll := pipeline(lowerOps(s.ops[vecPrefixLen(s.ops):], builds), sinkFn)
+		return runStageVec(tc, s, in, feed, finishAll)
 	}
 	feed, finishAll := pipeline(lowerOps(s.ops, builds), sinkFn)
 	if s.finalize {
@@ -637,6 +646,8 @@ func stageSink(tc *core.TaskCtx, s *stage) (func(any) error, error) {
 		WriterID:    tc.Blueprint().ID,
 		PollEvery:   spec.PollEvery,
 		SketchEvery: spec.SketchEvery,
+		Obs:         tc.Obs(),
+		Job:         tc.Job(),
 	})
 	tc.OnFinish(w.Close)
 	var rbuf []byte
@@ -689,7 +700,44 @@ func forEachScan(tc *core.TaskCtx, scanInput int, codec AnyCodec, fn func(any) e
 	}
 }
 
+// feedChunk streams one chunk's records through fn. Batch chunks decode
+// through the codec's columnar path when it has one, and re-frame
+// record-at-a-time otherwise — the row↔batch adapter that lets finalize
+// stages, join build loads, and row-only codecs read batch-encoded bags.
 func feedChunk(ch chunk.Chunk, codec AnyCodec, fn func(any) error) error {
+	if chunk.IsBatch(ch) {
+		if cc := columnarOf(codec); cc != nil {
+			var bt chunk.Batch
+			p, err := chunk.DecodeBatch(ch, &bt)
+			if err != nil {
+				return err
+			}
+			vec, err := cc.DecodeBatchAny(p, nil)
+			if err != nil {
+				return err
+			}
+			for _, v := range vec {
+				if err := fn(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		recs, err := chunk.Records(ch)
+		if err != nil {
+			return err
+		}
+		for _, rec := range recs {
+			v, err := codec.DecodeAny(rec)
+			if err != nil {
+				return err
+			}
+			if err := fn(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	r := chunk.NewReader(ch)
 	for {
 		rec, err := r.Next()

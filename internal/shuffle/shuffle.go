@@ -24,9 +24,9 @@
 package shuffle
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"sort"
 )
 
@@ -44,22 +44,64 @@ func (HashPartitioner) Partition(key []byte, n int) int {
 	return int(KeyHash(key) % uint64(n))
 }
 
-// KeyHash is the canonical 64-bit key hash used for partition routing and
-// for identifying isolated heavy-hitter keys in the partition map.
+// FNV-1a constants. The hash loops are open-coded rather than built on
+// hash/fnv because KeyHash sits on the per-record routing path: the
+// stdlib constructor materializes a hash.Hash64 allocation per call,
+// which profiles as the single largest routing cost at batch rates.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// KeyHash is the canonical 64-bit key hash used for partition routing
+// and for identifying isolated heavy-hitter keys in the partition map.
+// It is a word-at-a-time FNV-1a variant with a murmur3-style finalizer:
+// one multiply per 8 bytes instead of one per byte (routing hashes every
+// record, and typical keys are 8-byte words), and the finalizer repairs
+// the weak low bits a word-sized FNV step leaves — partition selection
+// is hash mod n, which reads exactly those bits. Only intra-run
+// agreement among producers matters; nothing persists hashes across
+// processes.
 func KeyHash(key []byte) uint64 {
-	h := fnv.New64a()
-	h.Write(key)
-	return h.Sum64()
+	return keyHashSeeded(fnvOffset64, key)
+}
+
+// KeyHashUint64 is KeyHash of the 8-byte little-endian encoding of v,
+// computed without materializing the bytes: that encoding is exactly one
+// word, so the fold collapses to a single xor-multiply before the
+// finalizer. Callers with native uint64 keys (the overwhelmingly common
+// shuffle key shape) route through this to keep the byte round-trip off
+// per-record paths.
+func KeyHashUint64(v uint64) uint64 {
+	h := (fnvOffset64 ^ v) * fnvPrime64
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
 }
 
 // subHash is an independently salted hash used to re-hash a hot
 // partition's keys across its sub-partitions; using the primary hash again
 // would send every key of the partition to the same sub-partition.
 func subHash(key []byte) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9}) // salt
-	h.Write(key)
-	return h.Sum64()
+	// (fnvOffset64 ^ 0x9e3779b97f4a7c15) * fnvPrime64 mod 2^64: the FNV
+	// seed advanced by one golden-ratio-salted round.
+	const saltedSeed uint64 = 0x27a3eeb23259be90
+	return keyHashSeeded(saltedSeed, key)
+}
+
+func keyHashSeeded(h uint64, key []byte) uint64 {
+	for len(key) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(key)) * fnvPrime64
+		key = key[8:]
+	}
+	for _, b := range key {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
 }
 
 // PartitionBag names base partition p of a logical bag.
@@ -77,6 +119,32 @@ func IsolatedBag(bag string, i, s int, fan int) string {
 	return fmt.Sprintf("%s.h%d.s%d", bag, i, s)
 }
 
+// EdgeOf returns the logical edge name a physical leaf bag belongs to by
+// stripping the ".p<i>[.s<j>]" / ".h<k>[.s<j>]" suffix produced by the
+// naming helpers above ("gb.shuf.p1.s3" → "gb.shuf"). Names without a
+// partition suffix are returned unchanged. Consumers use it to find the
+// edge's sketch slot from the one input bag name they are handed.
+func EdgeOf(leaf string) string {
+	for range [2]int{} { // at most ".p<i>" then ".s<j>" (or ".h<k>" ".s<j>")
+		i := len(leaf) - 1
+		for i >= 0 && leaf[i] >= '0' && leaf[i] <= '9' {
+			i--
+		}
+		if i <= 0 || i == len(leaf)-1 || leaf[i-1] != '.' {
+			return leaf
+		}
+		switch leaf[i] {
+		case 's':
+			leaf = leaf[:i-1]
+		case 'p', 'h':
+			return leaf[:i-1]
+		default:
+			return leaf
+		}
+	}
+	return leaf
+}
+
 // PMapBag names the control bag through which the master publishes
 // partition-map revisions to producers.
 func PMapBag(bag string) string { return bag + "!pmap" }
@@ -84,10 +152,15 @@ func PMapBag(bag string) string { return bag + "!pmap" }
 // Isolation diverts one heavy-hitter key (identified by KeyHash) to a
 // dedicated bag. Fan > 1 spreads the key's records round-robin over fan
 // bags — only valid on edges whose consumer declared record-level
-// parallelism safe (BagSpec.Spread).
+// parallelism safe (BagSpec.Spread). Key carries the raw key bytes when
+// the isolating party knew them: routing only ever consults Hash, but
+// consumers warm-starting their heavy-key fast path (HeavySlots) read
+// the keys back out of the published map — the partition-map control bag
+// outlives the edge's sketch slot, which the master wipes at seal.
 type Isolation struct {
 	Hash uint64 `json:"hash"`
 	Fan  int    `json:"fan"`
+	Key  []byte `json:"key,omitempty"`
 }
 
 // PartitionMap is the routing table of one shuffle edge. Version 1 is the
@@ -176,7 +249,13 @@ func (pm *PartitionMap) RouteWith(part Partitioner, key []byte, rr int) string {
 // attribution may pick the re-hash action instead of isolation, which
 // affects balance but never correctness.)
 func (pm *PartitionMap) RouteRefWith(part Partitioner, key []byte, rr int) RouteRef {
-	hash := KeyHash(key)
+	return pm.routeRefHashed(part, key, KeyHash(key), rr)
+}
+
+// routeRefHashed is RouteRefWith with the key hash computed by the
+// caller, for batch paths that reuse one hash per record for both
+// routing and sketch aggregation.
+func (pm *PartitionMap) routeRefHashed(part Partitioner, key []byte, hash uint64, rr int) RouteRef {
 	if len(pm.Isolated) > 0 {
 		if i, iso := pm.isolation(hash); iso != nil {
 			if iso.Fan <= 1 {

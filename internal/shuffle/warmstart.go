@@ -51,7 +51,9 @@ func WarmStart(prev *PartitionMap, stats *sketch.EdgeStats, newBag string, base 
 			if seed.IsIsolated(hash) {
 				continue
 			}
-			seed.Isolated = append(seed.Isolated, Isolation{Hash: hash, Fan: fan})
+			seed.Isolated = append(seed.Isolated, Isolation{
+				Hash: hash, Fan: fan, Key: append([]byte(nil), hk.Key...),
+			})
 		}
 	}
 	if len(seed.Splits) == 0 && len(seed.Isolated) == 0 {

@@ -87,6 +87,18 @@ type Writer struct {
 	n     uint64 // records written
 	bytes uint64 // record payload bytes written
 	rr    int    // round-robin counter for spread isolations
+
+	// Batch-path state (see batch.go): routing-vector scratch, per-batch
+	// key count aggregation for bulk sketch feeds, and cadence watermarks
+	// (the row path uses modulo cadences; batches advance n in jumps).
+	refs      []RouteRef
+	batchTab  []batchSlot // open-addressed count table, reused across batches
+	batchLive []int32     // occupied batchTab slots, for drain + reset
+	lastSlot  *batchSlot  // count slot of the previous record, if still live
+	lastHash  uint64      // its routing hash (slot identity check)
+	batches   uint64
+	lastPoll  uint64
+	lastPush  uint64
 }
 
 // NewWriter creates a writer for the edge. The initial routing table is
@@ -246,6 +258,9 @@ func (w *Writer) flushMetrics() {
 	labels := []string{"job", w.cfg.Job, "edge", w.cfg.Edge}
 	w.cfg.Obs.Counter("hurricane_shuffle_records_total", labels...).Add(w.n)
 	w.cfg.Obs.Counter("hurricane_shuffle_bytes_total", labels...).Add(w.bytes)
+	if w.batches > 0 {
+		w.cfg.Obs.Counter("hurricane_chunk_batches_total", labels...).Add(w.batches)
+	}
 	for _, out := range w.outs {
 		w.cfg.Obs.Counter("hurricane_shuffle_partition_records_total",
 			"job", w.cfg.Job, "edge", w.cfg.Edge, "part", out.name).Add(out.count)
