@@ -94,9 +94,7 @@ func planBench() error {
 		Isolations int   `json:"runtime_isolations"`
 		Clones     int   `json:"clones"`
 		SeededIso  int   `json:"seeded_isolations"`
-		// Metrics is the run's engine metrics snapshot (hurricane_*
-		// series from the cluster observer), captured before shutdown.
-		Metrics map[string]float64 `json:"metrics,omitempty"`
+		benchObs
 	}
 
 	runOnce := func(naive bool) (variant, error) {
@@ -192,7 +190,7 @@ func planBench() error {
 		}
 		st := cluster.Master().Stats()
 		out.Splits, out.Isolations, out.Clones = st.Splits, st.Isolations, st.Clones
-		out.Metrics = captureMetrics(cluster)
+		out.benchObs = captureObs(cluster, cluster.Primary(), false)
 		return out, nil
 	}
 

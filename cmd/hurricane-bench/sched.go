@@ -36,9 +36,7 @@ func schedBench() error {
 		Clones     int   `json:"clones"`
 		Splits     int   `json:"splits"`
 		Isolations int   `json:"isolations"`
-		// Metrics is the run's engine metrics snapshot (hurricane_*
-		// series from the cluster observer), captured before shutdown.
-		Metrics map[string]float64 `json:"metrics,omitempty"`
+		benchObs
 	}
 	const (
 		skewRecords = 200000
@@ -150,7 +148,9 @@ func schedBench() error {
 		out.Clones = st.Clones
 		out.Splits = st.Splits
 		out.Isolations = st.Isolations
-		out.Metrics = captureMetrics(cluster)
+		// Profile the skewed job: its critical path is where mitigation
+		// (and fair-share preemption) shows up.
+		out.benchObs = captureObs(cluster, hSkew, false)
 		return out, nil
 	}
 

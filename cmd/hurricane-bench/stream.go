@@ -50,11 +50,7 @@ func streamBench() error {
 		Splits       int     `json:"runtime_splits"`
 		Isolations   int     `json:"runtime_isolations"`
 		TotalRuntime int64   `json:"total_ms"`
-		// Metrics is the run's engine metrics snapshot (hurricane_*
-		// series from the cluster observer, labels collapsed — one job
-		// per window would otherwise bloat the document), captured
-		// before shutdown.
-		Metrics map[string]float64 `json:"metrics,omitempty"`
+		benchObs
 	}
 
 	// Drifting skew: the hot region rotates by one every two windows, so
@@ -119,6 +115,7 @@ func streamBench() error {
 		store := cluster.Store()
 		var latencies []float64
 		var firstSubmit, lastDone time.Time
+		var lastJob *hurricane.JobHandle
 		for w := 0; w < windows; w++ {
 			res, err := h.Next(ctx)
 			if err != nil {
@@ -150,6 +147,9 @@ func streamBench() error {
 			}
 			out.Splits += res.Splits
 			out.Isolations += res.Isolations
+			if j := res.Job(); j != nil {
+				lastJob = j
+			}
 		}
 		if err := h.Drain(ctx); err != nil {
 			return out, err
@@ -166,7 +166,9 @@ func streamBench() error {
 		total := lastDone.Sub(firstSubmit)
 		out.WindowsPerS = float64(windows) / total.Seconds()
 		out.TotalRuntime = total.Milliseconds()
-		out.Metrics = captureMetricsCollapsed(cluster)
+		// Profile the last window's job: with warm starts its first-task
+		// queue+read wait is the visible gain over a cold window.
+		out.benchObs = captureObs(cluster, lastJob, true)
 		return out, nil
 	}
 

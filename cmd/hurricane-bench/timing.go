@@ -5,7 +5,43 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// benchObs is the observability block every BENCH_*.json variant embeds:
+// the run's engine metrics snapshot plus, when a job handle is supplied,
+// that job's measured profile summary (wall time, critical path, and its
+// per-phase breakdown in milliseconds). One shared helper replaces the
+// hand-rolled capture blocks each subcommand used to carry.
+type benchObs struct {
+	// Metrics is the run's engine metrics snapshot: hurricane_* series
+	// from the cluster observer, non-zero values only (labels collapsed
+	// when the run spans many short-lived jobs), captured before
+	// shutdown.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Profile is the profiled job's execution summary (absent when the
+	// run kept no handle or span profiling was off).
+	Profile *obs.Summary `json:"profile,omitempty"`
+}
+
+// captureObs fills the shared block from a still-running cluster.
+// collapse selects the label-collapsed metrics snapshot (for runs that
+// span many short-lived jobs); h may be nil.
+func captureObs(c *core.Cluster, h *core.JobHandle, collapse bool) benchObs {
+	var b benchObs
+	if collapse {
+		b.Metrics = captureMetricsCollapsed(c)
+	} else {
+		b.Metrics = captureMetrics(c)
+	}
+	if h != nil {
+		if p := h.Profile(); p != nil && len(p.Stages) > 0 {
+			s := p.Summarize()
+			b.Profile = &s
+		}
+	}
+	return b
+}
 
 // runTimed runs one benchmark variant iters times and returns the median
 // run, ordered by key — the variant's measured quantity. Single runs at

@@ -75,7 +75,7 @@ func vectorBench() error {
 		},
 		"speedup_batch_over_row":   speedup,
 		"speedup_heavy_over_batch": heavySpeedup,
-		"notes": "Absolute MB/s depends on the container; the ratios are the stable quantities and 'hurricane-bench vector-check' guards the batch/row one in CI (fresh ratio >= 0.6x the committed ratio; observed cross-run spread on a busy shared host is roughly 2.7x-3.5x, so the guard trips on real regressions, not scheduler noise). The row path pays codec framing, partition-map consultation, count-min sampling, and chunk-writer append per record; the batch path pays them per batch and ships columns, so the speedup is the per-record overhead's share of the row path's runtime. The heavy-slot variant resolves the keys that dominate a Zipf stream in dense pre-seeded accumulator slots instead of the hash map; the metrics record its hit rate (55% of records here). At this 64-key cardinality the consumer's last-key memo already absorbs most consecutive repeats, so heavy slots roughly tie the batch baseline on wall time (0.9x-1.2x across runs) — their headroom grows with group cardinality, when the tail map stops fitting in cache.",
+		"notes":                    "Absolute MB/s depends on the container; the ratios are the stable quantities and 'hurricane-bench vector-check' guards the batch/row one in CI (fresh ratio >= 0.6x the committed ratio; observed cross-run spread on a busy shared host is roughly 2.7x-3.5x, so the guard trips on real regressions, not scheduler noise). The row path pays codec framing, partition-map consultation, count-min sampling, and chunk-writer append per record; the batch path pays them per batch and ships columns, so the speedup is the per-record overhead's share of the row path's runtime. The heavy-slot variant resolves the keys that dominate a Zipf stream in dense pre-seeded accumulator slots instead of the hash map; the metrics record its hit rate (55% of records here). At this 64-key cardinality the consumer's last-key memo already absorbs most consecutive repeats, so heavy slots roughly tie the batch baseline on wall time (0.9x-1.2x across runs) — their headroom grows with group cardinality, when the tail map stops fitting in cache.",
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -147,9 +147,7 @@ type vectorVariant struct {
 	// HeavyHitRate is dense-slot hits over lookups in the aggregate
 	// stage (0 outside batch_heavy).
 	HeavyHitRate float64 `json:"heavy_hit_rate"`
-	// Metrics is the run's engine metrics snapshot (hurricane_* series
-	// from the cluster observer), captured before shutdown.
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	benchObs
 }
 
 // vectorVariants runs the three variants in interleaved rounds
@@ -240,7 +238,7 @@ func runVectorVariant(mode string, profile *profileHook) (vectorVariant, error) 
 		// per chunk, and on a two-CPU host those context switches compete
 		// with the one worker doing the actual work. Bigger chunks cut
 		// the handoff count identically for row and batch layouts.
-		ChunkSize:    256 << 10,
+		ChunkSize: 256 << 10,
 		Master: hurricane.MasterConfig{
 			DisableSplitting: true,
 			DisableHeuristic: true,
@@ -317,7 +315,7 @@ func runVectorVariant(mode string, profile *profileHook) (vectorVariant, error) 
 		}
 	}
 
-	out.Metrics = captureMetrics(cluster)
+	out.benchObs = captureObs(cluster, cluster.Primary(), false)
 	var hits, lookups float64
 	for series, v := range out.Metrics {
 		switch {

@@ -41,11 +41,14 @@
 // HTTP (default 127.0.0.1:6066; move it with -debug addr, disable with
 // -debug off): /metrics in Prometheus text format, /debug/trace for the
 // typed skew-event log, /debug/skew for per-edge heavy hitters and
-// partition heat, and the standard /debug/pprof/ profiles:
+// partition heat, /debug/profile/<job> for a job's measured execution
+// profile (phase spans, critical path, per-edge skew attribution), and
+// the standard /debug/pprof/ profiles:
 //
 //	curl -s localhost:6066/metrics | grep hurricane_core_splits_total
 //	curl -s 'localhost:6066/debug/trace?job=j1&type=PartitionSplit'
 //	curl -s localhost:6066/debug/skew
+//	curl -s localhost:6066/debug/profile/j1
 package main
 
 import (

@@ -107,7 +107,7 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr
 			defer cancel()
 			_ = dbg.Shutdown(shctx)
 		}()
-		fmt.Printf("hurricane-run: debug surface on http://%s (/metrics /debug/trace /debug/skew /debug/pprof/)\n",
+		fmt.Printf("hurricane-run: debug surface on http://%s (/metrics /debug/trace /debug/skew /debug/profile/<job> /debug/pprof/)\n",
 			ln.Addr())
 	}
 

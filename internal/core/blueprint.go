@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+
+	"repro/internal/obs"
 )
 
 // TaskKind distinguishes ordinary tasks from the merge tasks the master
@@ -42,6 +44,11 @@ type Blueprint struct {
 	Outputs []string `json:"outputs"`
 	// ScanInputs are bags the worker reads in full without consuming.
 	ScanInputs []string `json:"scanInputs,omitempty"`
+	// ScheduledAt is the unix-nanosecond time the master published the
+	// blueprint; the profiler's queue-wait phase is the gap to worker
+	// start. Zero (e.g. a blueprint from an older encoding) reads as
+	// "unknown" and contributes no queue wait.
+	ScheduledAt int64 `json:"scheduledAt,omitempty"`
 }
 
 // blueprintID formats the canonical worker-instance identifier.
@@ -91,6 +98,9 @@ type event struct {
 	OK bool `json:"ok"`
 	// Err carries the failure message for unsuccessful completions.
 	Err string `json:"err,omitempty"`
+	// Spans is the worker's profiler phase accounting, attached to done
+	// events (nil when span profiling is disabled or the worker crashed).
+	Spans *obs.TaskSpans `json:"spans,omitempty"`
 }
 
 func (e *event) encode() []byte {

@@ -55,6 +55,11 @@ type ClusterConfig struct {
 	Obs *obs.Observer
 	// DisableObs turns observability off entirely.
 	DisableObs bool
+	// DisableSpans turns off the task profiler (per-phase span
+	// accounting on every worker, collected into JobHandle.Profile).
+	// Spans are on by default and cost two or three clock reads per
+	// chunk; this knob exists for overhead A/B measurements.
+	DisableSpans bool
 }
 
 func (c *ClusterConfig) fill() {
@@ -113,6 +118,7 @@ func newCluster(cfg ClusterConfig) *Cluster {
 	}
 	cfg.Obs = o
 	cfg.Node.Obs = o // workers report shuffle-edge bytes/records
+	cfg.Node.DisableSpans = cfg.DisableSpans
 	c := &Cluster{
 		cfg:        cfg,
 		obs:        o,

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -17,11 +18,13 @@ import (
 // The live debug surface. DebugHandler serves the cluster's observability
 // over HTTP:
 //
-//	/metrics        Prometheus text exposition of the metrics registry
-//	/debug/trace    the skew-event trace as JSON (?job= and ?type= filter)
-//	/debug/skew     per-edge heavy-hitter table and partition heat, from
-//	                the live merged producer sketches
-//	/debug/pprof/   the standard net/http/pprof profiles
+//	/metrics             Prometheus text exposition of the metrics registry
+//	/debug/trace         the skew-event trace as JSON (?job= and ?type= filter)
+//	/debug/skew          per-edge heavy-hitter table and partition heat, from
+//	                     the live merged producer sketches
+//	/debug/profile/<job> the job's execution profile (JobHandle.Profile) as
+//	                     JSON: per-stage phase spans, critical path, edge skew
+//	/debug/pprof/        the standard net/http/pprof profiles
 //
 // cmd/hurricane-run mounts it with -serve; embedded users mount it on any
 // mux. Handlers read the same structures the control plane writes, so
@@ -172,6 +175,25 @@ func (c *Cluster) DebugHandler() http.Handler {
 			report = []SkewEdge{}
 		}
 		writeJSON(w, report)
+	})
+	mux.HandleFunc("/debug/profile/", func(w http.ResponseWriter, r *http.Request) {
+		job := strings.TrimPrefix(r.URL.Path, "/debug/profile/")
+		c.mu.Lock()
+		h := c.jobs[job]
+		if h == nil && job == "" {
+			h = c.primary
+		}
+		c.mu.Unlock()
+		if h == nil {
+			http.Error(w, "unknown job "+job, http.StatusNotFound)
+			return
+		}
+		p := h.Profile()
+		if p == nil {
+			http.Error(w, "job "+job+" is queued; no profile yet", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, p)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -158,6 +158,20 @@ func (h *JobHandle) Trace() []obs.Event {
 	return h.c.obs.Tracer().Events(h.id, "")
 }
 
+// Profile returns the job's measured execution profile: per-stage phase
+// spans, the critical path through the task DAG, and per-edge skew
+// attribution. Nil while the job is still queued; partial while it runs;
+// complete once Done. Spans are collected unless
+// ClusterConfig.DisableSpans was set, in which case the profile has no
+// stages.
+func (h *JobHandle) Profile() *obs.Profile {
+	m := h.currentMaster()
+	if m == nil {
+		return nil
+	}
+	return m.Profile()
+}
+
 // currentMaster returns the job's master (nil while queued).
 func (h *JobHandle) currentMaster() *Master {
 	h.mu.Lock()

@@ -318,6 +318,14 @@ type Master struct {
 	isolations   int
 	yields       int
 
+	// spans accumulates per-task profiler phase accounting carried on
+	// done-bag events (guarded by m.mu, deduped by seenEvents like all
+	// done evidence). profStart/profEnd bound the job wall clock for
+	// Profile(); profEnd stays zero while the job is running.
+	spans     []obs.TaskSpans
+	profStart time.Time
+	profEnd   time.Time
+
 	// obs is the shared observer (nil-safe) plus this job's cached
 	// metric handles; events carry cfg.Job.
 	obs masterObs
@@ -444,6 +452,9 @@ func (m *Master) WorkBags() *workBags { return m.wb }
 
 // Start launches the master's control loop.
 func (m *Master) Start(parent context.Context) {
+	m.mu.Lock()
+	m.profStart = time.Now()
+	m.mu.Unlock()
 	m.ctx, m.cancel = context.WithCancel(parent)
 	m.wg.Add(1)
 	go m.loop()
@@ -739,7 +750,7 @@ func (m *Master) loop() {
 		done := m.finished == len(m.tasks)
 		m.mu.Unlock()
 		if done {
-			m.doneOnce.Do(func() { close(m.doneCh) })
+			m.markDone()
 			return
 		}
 		if progress {
@@ -773,7 +784,18 @@ func (m *Master) fail(err error) {
 		m.jobErr = err
 	}
 	m.mu.Unlock()
-	m.doneOnce.Do(func() { close(m.doneCh) })
+	m.markDone()
+}
+
+// markDone closes the done channel exactly once and freezes the
+// profiler's job-wall end time.
+func (m *Master) markDone() {
+	m.doneOnce.Do(func() {
+		m.mu.Lock()
+		m.profEnd = time.Now()
+		m.mu.Unlock()
+		close(m.doneCh)
+	})
 }
 
 // tick performs one pass of the master's control loop. It reports whether
@@ -1097,6 +1119,9 @@ func (m *Master) applyDone(e *event) error {
 		return nil
 	}
 	delete(st.running, e.TaskID)
+	if e.Spans != nil {
+		m.spans = append(m.spans, *e.Spans)
+	}
 	if e.Merge {
 		st.mergeDone = true
 		return nil
@@ -1228,14 +1253,15 @@ func (m *Master) blueprintFor(st *taskState, w int, inputs []string) *Blueprint 
 		outputs = []string{partialBag(st.spec.Outputs[0], w, st.epoch)}
 	}
 	return &Blueprint{
-		ID:         blueprintID(st.spec.Name, w, st.epoch),
-		Spec:       st.spec.Name,
-		Kind:       KindTask,
-		Worker:     w,
-		Epoch:      st.epoch,
-		Inputs:     inputs,
-		Outputs:    outputs,
-		ScanInputs: st.spec.ScanInputs,
+		ID:          blueprintID(st.spec.Name, w, st.epoch),
+		Spec:        st.spec.Name,
+		Kind:        KindTask,
+		Worker:      w,
+		Epoch:       st.epoch,
+		Inputs:      inputs,
+		Outputs:     outputs,
+		ScanInputs:  st.spec.ScanInputs,
+		ScheduledAt: time.Now().UnixNano(),
 	}
 }
 
@@ -1296,12 +1322,13 @@ func (m *Master) completionPass() (int, error) {
 				}
 			}
 			mbp := &Blueprint{
-				ID:      blueprintID(st.spec.Name+"+merge", 0, epoch),
-				Spec:    st.spec.Name,
-				Kind:    KindMerge,
-				Epoch:   epoch,
-				Inputs:  partials,
-				Outputs: st.spec.Outputs,
+				ID:          blueprintID(st.spec.Name+"+merge", 0, epoch),
+				Spec:        st.spec.Name,
+				Kind:        KindMerge,
+				Epoch:       epoch,
+				Inputs:      partials,
+				Outputs:     st.spec.Outputs,
+				ScheduledAt: time.Now().UnixNano(),
 			}
 			if err := m.wb.pushReady(m.ctx, mbp); err != nil {
 				return changed, err

@@ -106,6 +106,9 @@ type NodeConfig struct {
 	// Obs is the cluster observer workers report shuffle-edge byte and
 	// record counts into; nil disables worker-side metrics.
 	Obs *obs.Observer
+	// DisableSpans turns off the task profiler's per-phase span
+	// accounting (on by default; see ClusterConfig.DisableSpans).
+	DisableSpans bool
 }
 
 func (c *NodeConfig) fill() {
@@ -422,6 +425,7 @@ func (n *ComputeNode) startWorker(b *binding, bp *Blueprint) {
 	// re-check observes the detach. Both orders kill the worker before
 	// it touches the job's bags.
 	w := runWorkerGated(n.ctx, bp, n.store, b.app, n.cfg.Obs, b.job)
+	w.tc.spanOff = n.cfg.DisableSpans // before release: the gate orders this write
 	key := b.job + "/" + bp.ID
 	n.mu.Lock()
 	n.workers[key] = &workerEntry{w: w, b: b}
@@ -456,7 +460,7 @@ func (n *ComputeNode) startWorker(b *binding, bp *Blueprint) {
 		// graceful Stop racing with completion.
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		b.wb.recordDone(ctx, bp, n.name, w.err)
+		b.wb.recordDone(ctx, bp, n.name, w.err, w.tc.spanSnapshot())
 		b.getMaster().nudge()
 	}()
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
+	"repro/internal/obs"
 )
 
 // workBags is the distributed task-queuing interface (§4.1): three
@@ -55,10 +56,12 @@ func (w *workBags) recordStart(ctx context.Context, bp *Blueprint, node string) 
 	return w.store.Bag(w.runningName()).Insert(ctx, e.encode())
 }
 
-// recordDone logs a blueprint's completion (or failure).
-func (w *workBags) recordDone(ctx context.Context, bp *Blueprint, node string, runErr error) error {
+// recordDone logs a blueprint's completion (or failure). spans carries
+// the worker's profiler phase accounting to the master (nil when span
+// profiling is off — the done record then omits the field entirely).
+func (w *workBags) recordDone(ctx context.Context, bp *Blueprint, node string, runErr error, spans *obs.TaskSpans) error {
 	e := event{TaskID: bp.ID, Spec: bp.Spec, Node: node, Epoch: bp.Epoch,
-		Worker: bp.Worker, Merge: bp.Kind == KindMerge, OK: runErr == nil}
+		Worker: bp.Worker, Merge: bp.Kind == KindMerge, OK: runErr == nil, Spans: spans}
 	if runErr != nil {
 		e.Err = runErr.Error()
 	}

@@ -39,6 +39,20 @@ type TaskCtx struct {
 	bytesOut atomic.Int64
 	chunksIn atomic.Int64
 
+	// Profiler span accounting. Unlike busyNS/waitNS (reset every monitor
+	// interval by loadSnapshot), spans accumulate over the worker's whole
+	// lifetime. Plain fields on purpose: they are written only by the
+	// worker goroutine (the shuffle writers a task owns run on it too) and
+	// read by the completion path after the done channel closes, which
+	// orders the accesses. spanOff disables the extra bookkeeping
+	// (ClusterConfig.DisableSpans); it is set before the worker's gate
+	// opens, never after.
+	spans       spanAcc
+	spanOff     bool
+	spanStartNS int64 // unix ns when the worker got its first control
+	spanEndNS   int64 // unix ns when the task function (and finish) returned
+	queueNS     int64 // blueprint publication to worker start
+
 	// yieldReq asks the worker to stop consuming at its next chunk
 	// boundary and finish normally (fair-share preemption of clones).
 	yieldReq atomic.Bool
@@ -85,11 +99,30 @@ func (tc *TaskCtx) markBusyEnd() int64 {
 	return now
 }
 
-func (tc *TaskCtx) markWaitEnd(start int64) {
+// markWaitEnd closes a wait span and returns its duration, so callers
+// can attribute the same measured interval to a profiler phase without
+// a second clock read.
+func (tc *TaskCtx) markWaitEnd(start int64) int64 {
 	now := time.Now().UnixNano()
 	tc.waitNS.Add(now - start)
 	tc.last.Store(now)
+	return now - start
 }
+
+// spanAcc accumulates the profiler's per-phase durations and shuffle
+// write counts. See the TaskCtx.spans field comment for why plain
+// fields are safe here.
+type spanAcc struct {
+	readNS     int64 // blocked removing/scanning input chunks
+	writeNS    int64 // blocked on pipelined output inserts
+	shuffleNS  int64 // partitioned-writer chunk flushes (shuffle.Writer)
+	finalizeNS int64 // end-of-task flush beyond the above
+	records    int64
+	parts      map[string]int64
+}
+
+func (a *spanAcc) addRead(ns int64)  { a.readNS += ns }
+func (a *spanAcc) addWrite(ns int64) { a.writeNS += ns }
 
 // requestYield asks the worker to wind down consumption and finish
 // normally: its input pipelines are quiesced (no further chunks are
@@ -114,7 +147,7 @@ func (tc *TaskCtx) Remove(i int) (chunk.Chunk, error) {
 	}
 	start := tc.markBusyEnd()
 	c, err := tc.ins[i].Remove(tc.ctx)
-	tc.markWaitEnd(start)
+	tc.spans.addRead(tc.markWaitEnd(start))
 	if err == nil {
 		tc.bytesIn.Add(int64(len(c)))
 		tc.chunksIn.Add(1)
@@ -127,7 +160,7 @@ func (tc *TaskCtx) Remove(i int) (chunk.Chunk, error) {
 // bag.ErrEmpty at the end of the (sealed) bag.
 func (tc *TaskCtx) Scan(i int) (chunk.Chunk, error) {
 	start := tc.markBusyEnd()
-	defer tc.markWaitEnd(start)
+	defer func() { tc.spans.addRead(tc.markWaitEnd(start)) }()
 	for {
 		c, err := tc.scans[i].Next(tc.ctx)
 		if err == bag.ErrAgain {
@@ -151,7 +184,7 @@ func (tc *TaskCtx) NumScanInputs() int { return len(tc.scans) }
 // Insert writes one chunk to output i through the pipelined insert path.
 func (tc *TaskCtx) Insert(i int, c chunk.Chunk) error {
 	start := tc.markBusyEnd()
-	defer tc.markWaitEnd(start)
+	defer func() { tc.spans.addWrite(tc.markWaitEnd(start)) }()
 	if tc.inserters[i] == nil {
 		tc.inserters[i] = tc.outs[i].Inserter(tc.ctx)
 	}
@@ -213,6 +246,73 @@ func (tc *TaskCtx) OutputBagSpec(i int) *BagSpec {
 // writers register their flush here so buffered chunks are never lost.
 func (tc *TaskCtx) OnFinish(fn func() error) {
 	tc.onFinish = append(tc.onFinish, fn)
+}
+
+// AddShuffleSpan credits ns of partitioned-writer flush time, plus the
+// writer's exact record counts (total and per physical partition bag),
+// to the worker's profile. The engine's stage sinks call this from the
+// shuffle writer's close hook; custom tasks driving a shuffle.Writer
+// directly may call it too. Worker goroutine only.
+func (tc *TaskCtx) AddShuffleSpan(ns, records int64, parts map[string]int64) {
+	if tc.spanOff {
+		return
+	}
+	tc.spans.shuffleNS += ns
+	tc.spans.records += records
+	if len(parts) > 0 {
+		if tc.spans.parts == nil {
+			tc.spans.parts = make(map[string]int64, len(parts))
+		}
+		for name, n := range parts {
+			tc.spans.parts[name] += n
+		}
+	}
+}
+
+// SpansEnabled reports whether the task profiler is recording phase
+// spans for this worker (on unless ClusterConfig.DisableSpans).
+func (tc *TaskCtx) SpansEnabled() bool { return !tc.spanOff }
+
+// ShuffleSpanHook returns AddShuffleSpan in the shape
+// shuffle.WriterConfig.OnSpans wants, or nil when span profiling is off —
+// a nil hook keeps clock reads off the writer's flush path entirely.
+func (tc *TaskCtx) ShuffleSpanHook() func(flushNS, records int64, parts map[string]int64) {
+	if tc.spanOff {
+		return nil
+	}
+	return tc.AddShuffleSpan
+}
+
+// spanSnapshot assembles the worker's TaskSpans record for the done
+// event. Call only after the worker goroutine exited; returns nil when
+// span profiling is disabled or the worker never started.
+func (tc *TaskCtx) spanSnapshot() *obs.TaskSpans {
+	if tc.spanOff || tc.spanStartNS == 0 {
+		return nil
+	}
+	s := &obs.TaskSpans{
+		TaskID:     tc.bp.ID,
+		Spec:       tc.bp.Spec,
+		Worker:     tc.bp.Worker,
+		Merge:      tc.bp.Kind == KindMerge,
+		StartedNS:  tc.spanStartNS,
+		EndedNS:    tc.spanEndNS,
+		QueueNS:    tc.queueNS,
+		ReadNS:     tc.spans.readNS,
+		ShuffleNS:  tc.spans.writeNS + tc.spans.shuffleNS,
+		FinalizeNS: tc.spans.finalizeNS,
+		BytesIn:    tc.bytesIn.Load(),
+		BytesOut:   tc.bytesOut.Load(),
+		ChunksIn:   tc.chunksIn.Load(),
+		Records:    tc.spans.records,
+		Parts:      tc.spans.parts,
+	}
+	// Compute is everything the wall clock covers that no other phase
+	// claimed, so the in-worker phases always sum exactly to wall time.
+	if c := (s.EndedNS - s.StartedNS) - s.ReadNS - s.ShuffleNS - s.FinalizeNS; c > 0 {
+		s.ComputeNS = c
+	}
+	return s
 }
 
 // BytesIn reports total input bytes consumed so far.
@@ -315,6 +415,17 @@ func runWorkerGated(ctx context.Context, bp *Blueprint, store *bag.Store, app *A
 			w.err = wctx.Err()
 			return
 		}
+		if !w.tc.spanOff {
+			now := time.Now().UnixNano()
+			w.tc.spanStartNS = now
+			// Queue wait: blueprint publication to worker start. Master
+			// and node clocks are shared in-process; a recovered
+			// blueprint without a stamp contributes zero.
+			if bp.ScheduledAt > 0 && now > bp.ScheduledAt {
+				w.tc.queueNS = now - bp.ScheduledAt
+			}
+			defer func() { w.tc.spanEndNS = time.Now().UnixNano() }()
+		}
 		spec := app.Task(bp.Spec)
 		if spec == nil {
 			w.err = fmt.Errorf("core: unknown task spec %q", bp.Spec)
@@ -332,7 +443,19 @@ func runWorkerGated(ctx context.Context, bp *Blueprint, store *bag.Store, app *A
 			w.err = err
 			return
 		}
+		// Finalize is the end-of-task flush minus the inserter waits and
+		// shuffle flushes inside it, which stay attributed to the
+		// shuffle/write phase.
+		preW, preS := w.tc.spans.writeNS, w.tc.spans.shuffleNS
+		fstart := time.Now()
 		w.err = w.tc.finish()
+		if !w.tc.spanOff {
+			fin := time.Since(fstart).Nanoseconds()
+			fin -= (w.tc.spans.writeNS - preW) + (w.tc.spans.shuffleNS - preS)
+			if fin > 0 {
+				w.tc.spans.finalizeNS += fin
+			}
+		}
 	}()
 	return w
 }

@@ -16,9 +16,11 @@
 //  2. Disabled must be free-ish. Every handle method is nil-safe, and a
 //     nil *Observer hands out nil handles, so an uninstrumented run pays
 //     one predictable nil check per update site.
-//  3. Bounded memory. The event trace is a fixed-size ring that drops
-//     new events past capacity (counting the drops) rather than blocking
-//     or reallocating; the registry grows only at registration sites.
+//  3. Bounded memory. The event trace is a fixed-size ring that sheds
+//     load past capacity rather than blocking or reallocating: lifecycle
+//     chatter is dropped, control-plane decision events displace the
+//     oldest lifecycle entries (all displacement is counted); the
+//     registry grows only at registration sites.
 //
 // Metric names follow the scheme hurricane_<layer>_<name>, with _total
 // suffixes on monotonic counters, rendered in the Prometheus text

@@ -7,31 +7,30 @@ import (
 	"testing"
 )
 
-// TestTraceOverflow pins the ring's overflow contract: events past
-// capacity increment the drop counter and are discarded; the ring never
-// blocks and never grows past its capacity.
+// TestTraceOverflow pins the ring's class-based overflow contract: past
+// capacity, lifecycle chatter is dropped-new, while control-plane
+// decision events evict the oldest lifecycle event (the oldest event
+// outright once only decisions remain). Every displacement counts in
+// Dropped; the ring never blocks and never grows past its capacity.
 func TestTraceOverflow(t *testing.T) {
 	const capacity = 8
 	tr := NewTrace(capacity)
-	for i := 0; i < 3*capacity; i++ {
-		tr.Emit(EvTaskCloned, "job", fmt.Sprintf("task-%d", i), "")
+	// Lifecycle chatter past capacity: dropped-new, oldest retained.
+	for i := 0; i < 2*capacity; i++ {
+		tr.Emit(EvTaskScheduled, "job", fmt.Sprintf("life-%d", i), "")
 	}
 	if got := tr.Len(); got != capacity {
 		t.Fatalf("retained %d events, want %d", got, capacity)
 	}
-	if got := tr.Dropped(); got != 2*capacity {
-		t.Fatalf("dropped %d events, want %d", got, 2*capacity)
+	if got := tr.Dropped(); got != capacity {
+		t.Fatalf("dropped %d events, want %d", got, capacity)
 	}
 	if got := cap(tr.ring); got != capacity {
 		t.Fatalf("ring reallocated: cap %d, want %d", got, capacity)
 	}
 	evs := tr.Events("", "")
-	if len(evs) != capacity {
-		t.Fatalf("Events returned %d, want %d", len(evs), capacity)
-	}
-	// The retained prefix is the oldest events, in order.
 	for i, e := range evs {
-		if want := fmt.Sprintf("task-%d", i); e.Subject != want {
+		if want := fmt.Sprintf("life-%d", i); e.Subject != want {
 			t.Fatalf("event %d subject %q, want %q", i, e.Subject, want)
 		}
 		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
@@ -40,6 +39,26 @@ func TestTraceOverflow(t *testing.T) {
 		if i > 0 && evs[i].TMicros < evs[i-1].TMicros {
 			t.Fatalf("non-monotonic time at %d", i)
 		}
+	}
+	// Decision events arriving at a full ring are never starved: each
+	// evicts the oldest lifecycle event instead of being dropped.
+	for i := 0; i < capacity; i++ {
+		tr.Emit(EvTaskCloned, "job", fmt.Sprintf("dec-%d", i), "")
+	}
+	if got := tr.Len(); got != capacity {
+		t.Fatalf("retained %d events after decisions, want %d", got, capacity)
+	}
+	if got := tr.Dropped(); got != 2*capacity {
+		t.Fatalf("dropped %d events, want %d", got, 2*capacity)
+	}
+	if got := len(tr.Events("", EvTaskCloned)); got != capacity {
+		t.Fatalf("retained %d decision events, want all %d", got, capacity)
+	}
+	// All-decision ring: a further decision evicts the oldest decision.
+	tr.Emit(EvKeyIsolated, "job", "edge", "")
+	evs = tr.Events("", "")
+	if len(evs) != capacity || evs[0].Subject != "dec-1" || evs[capacity-1].Subject != "edge" {
+		t.Fatalf("all-decision eviction wrong: %+v", evs)
 	}
 }
 

@@ -60,17 +60,34 @@ type Event struct {
 // DefaultTraceCap is the default trace ring capacity.
 const DefaultTraceCap = 4096
 
-// Trace is a bounded, mutex-guarded event log. Once the ring is full,
-// new events are dropped and counted — the buffer never blocks the
-// emitter and never reallocates, and the retained prefix is the
-// interesting one for skew forensics (the mitigation decisions cluster
-// early in a job's life). A nil *Trace is a no-op.
+// Trace is a bounded, mutex-guarded event log. At capacity it degrades
+// by event class rather than uniformly: lifecycle chatter (schedule /
+// finish / lease-grant / window-seal notifications, which dominate the
+// volume on long runs) is dropped new-at-cap, while control-plane
+// *decision* events (splits, isolations, clones, yields, map revisions,
+// preemptions, retries, join choices) evict the oldest lifecycle event —
+// or, failing that, the oldest event outright — so the latest mitigation
+// decisions are always retained. Every displaced event is counted in
+// Dropped. The buffer never blocks the emitter and never reallocates
+// past its capacity. A nil *Trace is a no-op.
 type Trace struct {
 	mu      sync.Mutex
 	start   time.Time
 	ring    []Event
 	seq     uint64
 	dropped uint64
+}
+
+// decisionEvent classifies the event types whose latest occurrences must
+// survive a full ring — the control-plane decisions skew forensics are
+// about. The rest (lifecycle notifications) are the evictable bulk.
+func decisionEvent(typ EventType) bool {
+	switch typ {
+	case EvPartitionSplit, EvKeyIsolated, EvTaskCloned, EvCloneYielded,
+		EvMapRevision, EvLeasePreempt, EvWindowRetried, EvJoinStrategyChosen:
+		return true
+	}
+	return false
 }
 
 // NewTrace returns a trace ring with the given capacity (cap <= 0
@@ -82,8 +99,12 @@ func NewTrace(capacity int) *Trace {
 	return &Trace{start: time.Now(), ring: make([]Event, 0, capacity)}
 }
 
-// Emit appends one event, dropping it (and counting the drop) if the
-// ring is at capacity.
+// Emit appends one event. At capacity, lifecycle events are dropped;
+// decision events evict the oldest lifecycle event (oldest overall when
+// the ring holds only decisions). Either way the displaced event counts
+// toward Dropped. The eviction scan is linear in the ring, which is fine
+// at control-plane rates — a full ring means the job already emitted
+// thousands of events.
 func (t *Trace) Emit(typ EventType, job, subject, detail string) {
 	if t == nil {
 		return
@@ -92,8 +113,20 @@ func (t *Trace) Emit(typ EventType, job, subject, detail string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.ring) == cap(t.ring) {
+		if !decisionEvent(typ) {
+			t.dropped++
+			return
+		}
+		evict := 0
+		for i := range t.ring {
+			if !decisionEvent(t.ring[i].Type) {
+				evict = i
+				break
+			}
+		}
+		copy(t.ring[evict:], t.ring[evict+1:])
+		t.ring = t.ring[:len(t.ring)-1]
 		t.dropped++
-		return
 	}
 	t.seq++
 	t.ring = append(t.ring, Event{

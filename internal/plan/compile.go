@@ -648,6 +648,7 @@ func stageSink(tc *core.TaskCtx, s *stage) (func(any) error, error) {
 		SketchEvery: spec.SketchEvery,
 		Obs:         tc.Obs(),
 		Job:         tc.Job(),
+		OnSpans:     tc.ShuffleSpanHook(),
 	})
 	tc.OnFinish(w.Close)
 	var rbuf []byte

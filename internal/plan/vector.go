@@ -205,6 +205,7 @@ func stageVecSink(tc *core.TaskCtx, s *stage) (func(any) error, error) {
 			SketchEvery: spec.SketchEvery,
 			Obs:         tc.Obs(),
 			Job:         tc.Job(),
+			OnSpans:     tc.ShuffleSpanHook(),
 		}),
 		kinds:     oc.ColKinds(),
 		leaves:    make(map[shuffle.RouteRef]*chunk.BatchBuilder),

@@ -3,6 +3,7 @@ package shuffle
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bag"
 	"repro/internal/chunk"
@@ -53,6 +54,12 @@ type WriterConfig struct {
 	// Job labels the series.
 	Obs *obs.Observer
 	Job string
+	// OnSpans, when set, is invoked once at Close with the writer's
+	// profiler accounting: nanoseconds spent inserting flushed chunks and
+	// draining pipelines, total records routed, and the per-partition
+	// record breakdown. Nil keeps clock reads off the flush path entirely
+	// (the engine sets it only while span profiling is on).
+	OnSpans func(flushNS, records int64, parts map[string]int64)
 }
 
 // leafOut is the write pipeline for one physical partition bag: a chunk
@@ -99,6 +106,11 @@ type Writer struct {
 	batches   uint64
 	lastPoll  uint64
 	lastPush  uint64
+
+	// flushNS accumulates time blocked inserting flushed chunks and
+	// draining pipelines — the profiler's shuffle phase. Only advanced
+	// when cfg.OnSpans is set.
+	flushNS int64
 }
 
 // NewWriter creates a writer for the edge. The initial routing table is
@@ -166,7 +178,13 @@ func (w *Writer) newLeaf(ref RouteRef) *leafOut {
 		name: name,
 		ins:  ins,
 		w: chunk.NewWriter(w.cfg.Store.ChunkSize(), func(c chunk.Chunk) error {
-			return ins.Insert(c)
+			if w.cfg.OnSpans == nil {
+				return ins.Insert(c)
+			}
+			start := time.Now()
+			err := ins.Insert(c)
+			w.flushNS += time.Since(start).Nanoseconds()
+			return err
 		}),
 	}
 	w.outs[ref] = out
@@ -238,12 +256,27 @@ func (w *Writer) Close() error {
 		}
 	}
 	for _, out := range w.outs {
-		if err := out.ins.Close(); err != nil && firstErr == nil {
+		var t0 time.Time
+		if w.cfg.OnSpans != nil {
+			t0 = time.Now()
+		}
+		err := out.ins.Close()
+		if w.cfg.OnSpans != nil {
+			w.flushNS += time.Since(t0).Nanoseconds()
+		}
+		if err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("shuffle: closing %s: %w", out.name, err)
 		}
 	}
 	w.pushStats()
 	w.flushMetrics()
+	if w.cfg.OnSpans != nil {
+		parts := make(map[string]int64, len(w.outs))
+		for _, out := range w.outs {
+			parts[out.name] = int64(out.count)
+		}
+		w.cfg.OnSpans(w.flushNS, int64(w.n), parts)
+	}
 	return firstErr
 }
 

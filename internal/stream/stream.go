@@ -186,6 +186,17 @@ func (r *WindowResult) Bag(name string) string {
 // thousands of empty windows; see seal).
 func (r *WindowResult) Job() *core.JobHandle { return r.job }
 
+// Profile returns the window job's execution profile (nil for empty or
+// unsubmitted windows). Warm-started windows show their gains here: the
+// first consumer task's queue+read wait shrinks when the seeded
+// partition map spares the edge a mid-run re-shuffle.
+func (r *WindowResult) Profile() *obs.Profile {
+	if r.job == nil {
+		return nil
+	}
+	return r.job.Profile()
+}
+
 // LateBag names the bag holding records that arrived after this window
 // sealed ("" unless Spec.SurfaceLate, or when no late record arrived).
 // The bag is sealed when the next window seals; its records never reach

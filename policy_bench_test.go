@@ -75,7 +75,11 @@ func BenchmarkPolicyAblation(b *testing.B) {
 					// re-runs the ablation with the observer disabled to
 					// re-measure that overhead (within run noise, per the
 					// A/B recorded in BENCH_policy.json).
+					// HURRICANE_NOSPANS=1 disables only the task
+					// profiler's span accounting, for the
+					// profiler_overhead A/B recorded alongside it.
 					DisableObs:   os.Getenv("HURRICANE_NOOBS") != "",
+					DisableSpans: os.Getenv("HURRICANE_NOSPANS") != "",
 					StorageNodes: 4,
 					ComputeNodes: 4,
 					SlotsPerNode: 2,
