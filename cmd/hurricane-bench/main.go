@@ -36,6 +36,13 @@
 // batch + heavy-key dense slots — and writes BENCH_vector.json.
 // "vector-check" re-runs the row and batch variants once and fails when
 // the batch/row speedup regresses >15% against the committed baseline.
+//
+// "wire" runs the wire-path benchmark against REAL TCP storage nodes on
+// loopback — the Zipf(1.3) groupby with every bag op crossing the wire —
+// reporting per-op client latency p50/p99, op throughput, wire bytes,
+// and an interleaved telemetry-on/off A/B pricing the storage-tier
+// meters — and writes BENCH_wire_baseline.json, the baseline for the
+// ROADMAP wire-path optimisation target.
 package main
 
 import (
@@ -123,6 +130,7 @@ var engineBenches = map[string]func() error{
 	"plan":            planBench,
 	"vector":          vectorBench,
 	"vector-check":    vectorCheck,
+	"wire":            wireBench,
 }
 
 // validExperiments lists every runnable experiment name for error

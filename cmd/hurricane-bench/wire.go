@@ -1,0 +1,295 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/bag"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// wireBench measures the TCP storage wire path under the paper's skewed
+// groupby and prices the wire-path telemetry itself. It is the committed
+// baseline for the ROADMAP wire-path optimisation target (≥5× fewer
+// round trips per consumed chunk): every future transport change gets
+// compared against BENCH_wire_baseline.json.
+//
+// The workload is the Zipf(1.3) shuffle groupby — the same job
+// hurricane-run executes — but against REAL TCP storage nodes: each
+// storage.Node sits behind its own transport.TCPServer on a loopback
+// port, and every bag op (insert, read, advance, seal, sketch push, pmap
+// poll) crosses the wire. Every run verifies per-key counts against
+// ground truth.
+//
+// Two variants run interleaved (alternating order, so clock drift and
+// cache warmth cancel):
+//
+//   - telemetry-on: client, servers, and nodes all carry bound Meters —
+//     the full hurricane_storage_op_* surface. The median run reports
+//     per-op client latency p50/p99, op throughput, and wire bytes.
+//   - telemetry-off: no meters bound anywhere; the identical job priced
+//     without the storage-tier telemetry.
+//
+// The headline overhead number is the median-over-median elapsed ratio;
+// the acceptance bar is ≤3%.
+func wireBench() error {
+	const (
+		records   = 200000
+		keyDomain = 64
+		zipfS     = 1.3
+		parts     = 4
+		storageN  = 2
+		computes  = 4
+		slots     = 2
+		chunkSize = 32 << 10
+		pairs     = 5
+	)
+
+	fmt.Printf("wire: Zipf(%.1f) groupby, %d records over %d TCP storage nodes, %d interleaved A/B pairs\n",
+		zipfS, records, storageN, pairs)
+
+	// One discarded warm-up run: the first run of the process pays page
+	// cache and scheduler warm-up that would otherwise land on whichever
+	// variant happens to go first.
+	if _, err := wireRunOnce(false, records, keyDomain, zipfS, parts, storageN, computes, slots, chunkSize); err != nil {
+		return fmt.Errorf("wire warm-up: %w", err)
+	}
+
+	var onRuns, offRuns []wireVariant
+	for i := 0; i < pairs; i++ {
+		order := []bool{true, false}
+		if i%2 == 1 {
+			order[0], order[1] = false, true
+		}
+		for _, telemetry := range order {
+			v, err := wireRunOnce(telemetry, records, keyDomain, zipfS, parts, storageN, computes, slots, chunkSize)
+			if err != nil {
+				return fmt.Errorf("wire (telemetry=%v): %w", telemetry, err)
+			}
+			if telemetry {
+				onRuns = append(onRuns, v)
+			} else {
+				offRuns = append(offRuns, v)
+			}
+			fmt.Printf("  pair %d telemetry=%-5v %5dms", i+1, telemetry, v.ElapsedMS)
+			if telemetry {
+				fmt.Printf("  (%d client ops, %.0f op/s, %s out / %s in)",
+					v.ClientOps, v.OpsPerSec, wireMB(v.WireBytesOut), wireMB(v.WireBytesIn))
+			}
+			fmt.Println()
+		}
+	}
+
+	on := wireMedian(onRuns)
+	off := wireMedian(offRuns)
+	overheadPct := (float64(on.ElapsedMS)/float64(off.ElapsedMS) - 1) * 100
+
+	fmt.Printf("  telemetry-on  median: %5dms\n", on.ElapsedMS)
+	fmt.Printf("  telemetry-off median: %5dms\n", off.ElapsedMS)
+	fmt.Printf("  storage-telemetry overhead: %+.1f%% (bar: ≤3%%)\n", overheadPct)
+	ops := make([]string, 0, len(on.PerOp))
+	for op := range on.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(a, b int) bool { return on.PerOp[ops[a]].Ops > on.PerOp[ops[b]].Ops })
+	fmt.Printf("  %-12s %10s %10s %10s\n", "client op", "count", "p50", "p99")
+	for _, op := range ops {
+		s := on.PerOp[op]
+		fmt.Printf("  %-12s %10d %9.0fus %9.0fus\n", op, s.Ops, s.P50Us, s.P99Us)
+	}
+
+	doc := map[string]any{
+		"benchmark": "wire",
+		"description": fmt.Sprintf(
+			"Wire-path baseline for the TCP storage tier: the Zipf(s=%.1f) shuffle groupby (%d records, %d-key domain, %d base partitions, producer sketches and hot-partition splits active) runs with compute nodes and master in-process but every bag on %d real storage.Node processes-worth of state behind transport.TCPServer loopback listeners — every insert/read/advance/seal/sketch/pmap op crosses TCP (%dKiB chunks). Interleaved A/B, %d pairs in alternating order: telemetry-on binds the full Meter surface (client+server+node roles), telemetry-off binds none. Per-run verification of every per-key count against ground truth. Reported: median elapsed per variant; the on-median's client-side per-op latency p50/p99 (full session: load+run+collect share the wire path), op throughput and wire bytes over the groupby run itself, and the on/off median overhead ratio.",
+			zipfS, records, keyDomain, parts, storageN, chunkSize>>10, pairs),
+		"environment": map[string]string{
+			"go":   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+			"date": time.Now().Format("2006-01-02"),
+		},
+		"command": "hurricane-bench wire",
+		"results": map[string]any{
+			"telemetry_on":  on,
+			"telemetry_off": off,
+		},
+		"telemetry_overhead_pct": overheadPct,
+		"notes": "This file is the committed baseline for the ROADMAP wire-path target (≥5x fewer round trips per consumed chunk): compare future transport work against ops_per_run and wire bytes here, not wall clock alone. The per-op table localizes where the wire budget goes today — read/advance round trips per consumed chunk dominate op count; sketch pushes and pmap polls ride the same connections. Telemetry overhead is the median-over-median elapsed ratio of interleaved runs; the meters themselves are a few atomic adds per op, so the bar is ≤3%.",
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_wire_baseline.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  wrote BENCH_wire_baseline.json")
+	if overheadPct > 3 {
+		fmt.Printf("  WARNING: telemetry overhead %.1f%% exceeds the 3%% bar\n", overheadPct)
+	}
+	return nil
+}
+
+// wireOpStat is one client-side op row of the per-op table.
+type wireOpStat struct {
+	// Ops counts completions of this op over the groupby run.
+	Ops int64 `json:"ops"`
+	// P50Us / P99Us are the op's latency quantiles in microseconds over
+	// the whole session (power-of-two-bucket estimate).
+	P50Us float64 `json:"p50_us"`
+	P99Us float64 `json:"p99_us"`
+}
+
+// wireVariant is one measured run of the wire benchmark. The telemetry
+// fields stay zero on telemetry-off runs (there is no meter to read).
+type wireVariant struct {
+	ElapsedMS int64 `json:"elapsed_ms"`
+	// ClientOps / OpsPerSec / WireBytes* cover the groupby run itself
+	// (snapshot delta around cluster.Run), from the client's perspective.
+	ClientOps    int64   `json:"client_ops,omitempty"`
+	OpsPerSec    float64 `json:"ops_per_sec,omitempty"`
+	WireBytesOut int64   `json:"wire_bytes_out,omitempty"`
+	WireBytesIn  int64   `json:"wire_bytes_in,omitempty"`
+	// PerOp is the client-side per-op table, keyed by op name.
+	PerOp map[string]wireOpStat `json:"per_op_client,omitempty"`
+	// SlowOps counts EvStorageSlowOp trace events across all roles.
+	SlowOps int `json:"slow_ops,omitempty"`
+}
+
+// wireRunOnce builds a fresh TCP storage tier, runs the verified Zipf
+// groupby against it, and (when telemetry is on) reads the run's wire
+// metrics back out of the observer.
+func wireRunOnce(telemetry bool, records, keyDomain int, zipfS float64, parts, storageN, computes, slots, chunkSize int) (wireVariant, error) {
+	var out wireVariant
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	o := obs.New(0)
+	names := make([]string, storageN)
+	addrs := make(map[string]string, storageN)
+	var servers []*transport.TCPServer
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := range names {
+		name := fmt.Sprintf("wire-%d", i)
+		names[i] = name
+		node := storage.NewNode(name)
+		srv := transport.NewTCPServer(node)
+		if telemetry {
+			node.Bind(o, 0)
+			srv.Bind(transport.NewMeter(o, "server", name, 0))
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return out, err
+		}
+		servers = append(servers, srv)
+		addrs[name] = addr
+	}
+	client := transport.NewTCPClient(addrs)
+	defer client.Close()
+	if telemetry {
+		client.Bind(transport.NewMeter(o, "client", "", 0))
+	}
+	store, err := bag.NewStore(bag.Config{Nodes: names, Client: client, ChunkSize: chunkSize})
+	if err != nil {
+		return out, err
+	}
+
+	tuples := workload.ZipfTuples(records, keyDomain, zipfS, 9)
+	want := workload.KeyCounts(tuples)
+	if err := apps.LoadGroupBy(ctx, store, tuples); err != nil {
+		return out, err
+	}
+
+	cluster := core.NewClusterOverStore(store, core.ClusterConfig{
+		ComputeNodes: computes,
+		SlotsPerNode: slots,
+		Obs:          o,
+		Master: core.MasterConfig{
+			CloneInterval:   50 * time.Millisecond,
+			SplitInterval:   20 * time.Millisecond,
+			SplitImbalance:  1.5,
+			SplitMinRecords: 4096,
+			SplitFan:        4,
+		},
+		Node: core.NodeConfig{
+			MonitorInterval:   25 * time.Millisecond,
+			OverloadThreshold: 0.5,
+		},
+	})
+	defer cluster.Shutdown()
+
+	app := apps.GroupByApp(parts, true, false, 0)
+	spec := app.BagSpecFor(apps.GroupByShuf)
+	spec.SketchEvery, spec.PollEvery = 512, 256
+
+	before := o.Registry().Snapshot()
+	start := time.Now()
+	if err := cluster.Run(ctx, app); err != nil {
+		return out, err
+	}
+	elapsed := time.Since(start)
+	out.ElapsedMS = elapsed.Milliseconds()
+
+	got, err := apps.CollectGroupBy(ctx, store)
+	if err != nil {
+		return out, err
+	}
+	for k, n := range want {
+		if got[k].Count != n {
+			return out, fmt.Errorf("key %d: got %d want %d", k, got[k].Count, n)
+		}
+	}
+	if len(got) != len(want) {
+		return out, fmt.Errorf("got %d keys, want %d", len(got), len(want))
+	}
+
+	if telemetry {
+		snap := o.Registry().Snapshot()
+		out.PerOp = make(map[string]wireOpStat)
+		for op := transport.OpInsert; op <= transport.OpDeletePrefix; op++ {
+			key := fmt.Sprintf(`hurricane_storage_op_total{role="client",op=%q}`, op.String())
+			n := int64(snap[key] - before[key])
+			if n <= 0 {
+				continue
+			}
+			out.ClientOps += n
+			out.PerOp[op.String()] = wireOpStat{
+				Ops:   n,
+				P50Us: snap[fmt.Sprintf(`hurricane_storage_op_ns_p50{role="client",op=%q}`, op.String())] / 1e3,
+				P99Us: snap[fmt.Sprintf(`hurricane_storage_op_ns_p99{role="client",op=%q}`, op.String())] / 1e3,
+			}
+		}
+		out.OpsPerSec = float64(out.ClientOps) / elapsed.Seconds()
+		const bytesOut = `hurricane_storage_bytes_out_total{role="client"}`
+		const bytesIn = `hurricane_storage_bytes_in_total{role="client"}`
+		out.WireBytesOut = int64(snap[bytesOut] - before[bytesOut])
+		out.WireBytesIn = int64(snap[bytesIn] - before[bytesIn])
+		out.SlowOps = len(o.Tracer().Events("", obs.EvStorageSlowOp))
+	}
+	return out, nil
+}
+
+// wireMedian returns the median-elapsed run.
+func wireMedian(runs []wireVariant) wireVariant {
+	sort.Slice(runs, func(a, b int) bool { return runs[a].ElapsedMS < runs[b].ElapsedMS })
+	return runs[len(runs)/2]
+}
+
+// wireMB formats a byte count as MiB with one decimal.
+func wireMB(n int64) string {
+	return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+}

@@ -36,19 +36,33 @@
 //	hurricane-run -storage ... -serve &
 //	hurricane-run -storage ... -submit -name j1 -job groupby -records 200000 -skew 1.3
 //	hurricane-run -storage ... -submit -name j2 -job sqsum -records 100000 -weight 2
+//	hurricane-run -storage ... -submit -name j3 -job query -records 200000 -skew 1.3
+//
+// Every -submit mints a causal trace ID that travels with the
+// submission record over the storage wire; the serving cluster stamps
+// it into the remote job's trace events and execution profile. After
+// completion the client fetches the job's EXPLAIN ANALYZE, profile,
+// and decision timeline from the server's debug endpoint by that ID
+// (same-host or reachable -debug address required; degrades to the
+// result line otherwise). -job query runs the planner-compiled groupby,
+// whose EXPLAIN ANALYZE renders the compiled physical plan annotated
+// with the measured execution.
 //
 // A -serve process also exposes the cluster's live observability over
 // HTTP (default 127.0.0.1:6066; move it with -debug addr, disable with
-// -debug off): /metrics in Prometheus text format, /debug/trace for the
-// typed skew-event log, /debug/skew for per-edge heavy hitters and
-// partition heat, /debug/profile/<job> for a job's measured execution
-// profile (phase spans, critical path, per-edge skew attribution), and
-// the standard /debug/pprof/ profiles:
+// -debug off): /metrics in Prometheus text format (including the
+// hurricane_storage_op_* wire telemetry of its TCP storage client),
+// /debug/trace for the typed skew-event log (?job=, ?type=, ?trace=
+// filters), /debug/skew for per-edge heavy hitters and partition heat,
+// /debug/profile/<job> for a job's measured execution profile (phase
+// spans, critical path, per-edge skew attribution), /debug/explain/<job>
+// for its EXPLAIN ANALYZE, and the standard /debug/pprof/ profiles:
 //
-//	curl -s localhost:6066/metrics | grep hurricane_core_splits_total
+//	curl -s localhost:6066/metrics | grep hurricane_storage_op_total
 //	curl -s 'localhost:6066/debug/trace?job=j1&type=PartitionSplit'
 //	curl -s localhost:6066/debug/skew
 //	curl -s localhost:6066/debug/profile/j1
+//	curl -s 'localhost:6066/debug/explain/?trace=t-<id>'
 package main
 
 import (
@@ -123,7 +137,7 @@ func main() {
 	if *serveMode {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
-		if err := serve(ctx, store, *computes, *slots, *debugAddr); err != nil {
+		if err := serve(ctx, store, client, *computes, *slots, *debugAddr); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -135,7 +149,7 @@ func main() {
 		req := jobRequest{Name: *name, Job: *job, Records: *records,
 			Skew: *skew, Parts: *parts, Weight: *weight}
 		if req.Job == "clicklog" {
-			req.Job = "sqsum" // served kinds are sqsum and groupby
+			req.Job = "sqsum" // served kinds are sqsum, groupby, and query
 		}
 		if err := submitAndWait(ctx, store, req); err != nil {
 			log.Fatal(err)

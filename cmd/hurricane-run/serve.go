@@ -6,17 +6,21 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
 	"time"
 
 	"repro/hurricane"
+	"repro/hurricane/q"
 	"repro/internal/apps"
 	"repro/internal/bag"
 	"repro/internal/chunk"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -39,11 +43,16 @@ const (
 type jobRequest struct {
 	Name    string  `json:"name"`             // unique job name (also the bag namespace)
 	ID      string  `json:"id"`               // unique per submission; echoed in the result
-	Job     string  `json:"job"`              // sqsum | groupby
+	Job     string  `json:"job"`              // sqsum | groupby | query
 	Records int     `json:"records"`          // input size
-	Skew    float64 `json:"skew,omitempty"`   // groupby: zipf s
-	Parts   int     `json:"parts,omitempty"`  // groupby: base shuffle partitions
+	Skew    float64 `json:"skew,omitempty"`   // groupby/query: zipf s
+	Parts   int     `json:"parts,omitempty"`  // groupby/query: base shuffle partitions
 	Weight  int     `json:"weight,omitempty"` // fair-share weight
+	// Trace is the causal trace ID the client minted at submission. The
+	// server threads it through JobConfig into the job's trace events and
+	// profile, so the client can fetch the remote timeline and EXPLAIN
+	// ANALYZE by this ID after completion.
+	Trace string `json:"trace,omitempty"`
 }
 
 // jobResult is the completion record the server writes to the done bag.
@@ -57,6 +66,12 @@ type jobResult struct {
 	Err       string `json:"err,omitempty"`
 	ElapsedMS int64  `json:"elapsedMs"`
 	Stats     string `json:"stats,omitempty"`
+	// Trace echoes the submission's causal trace ID; Debug advertises
+	// the server's bound debug listener ("" when -debug off), which is
+	// where the client fetches the job's profile, EXPLAIN ANALYZE, and
+	// event timeline by that ID.
+	Trace string `json:"trace,omitempty"`
+	Debug string `json:"debug,omitempty"`
 }
 
 // newSubmissionID returns a random identifier for one submission record.
@@ -70,9 +85,16 @@ func newSubmissionID() (string, error) {
 
 // serve runs the multi-job scheduler against the remote storage tier and
 // executes every job submitted through the submit bag, concurrently.
-// debugAddr is the listen address for the observability surface
-// (cluster.DebugHandler); "" picks the default, "off" disables it.
-func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr string) error {
+// client, when non-nil, is the TCP storage client carrying the cluster's
+// wire traffic; it is bound to the observer so /metrics reports the
+// client side of every storage op. debugAddr is the listen address for
+// the observability surface (cluster.DebugHandler); "" picks the
+// default, "off" disables it.
+func serve(ctx context.Context, store *bag.Store, client *transport.TCPClient, computes, slots int, debugAddr string) error {
+	o := obs.New(0)
+	if client != nil {
+		client.Bind(transport.NewMeter(o, "client", "", 0))
+	}
 	cluster := core.NewClusterOverStore(store, core.ClusterConfig{
 		ComputeNodes: computes,
 		SlotsPerNode: slots,
@@ -85,9 +107,11 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr
 			OverloadThreshold: 0.5,
 		},
 		Sched: sched.Config{Interval: 10 * time.Millisecond},
+		Obs:   o,
 	})
 	defer cluster.Shutdown()
 
+	boundDebug := ""
 	if debugAddr != "off" {
 		if debugAddr == "" {
 			debugAddr = "127.0.0.1:6066"
@@ -107,7 +131,8 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr
 			defer cancel()
 			_ = dbg.Shutdown(shctx)
 		}()
-		fmt.Printf("hurricane-run: debug surface on http://%s (/metrics /debug/trace /debug/skew /debug/profile/<job> /debug/pprof/)\n",
+		boundDebug = ln.Addr().String()
+		fmt.Printf("hurricane-run: debug surface on http://%s (/metrics /debug/trace /debug/skew /debug/profile/<job> /debug/explain/<job> /debug/pprof/)\n",
 			ln.Addr())
 	}
 
@@ -177,7 +202,7 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr
 			}
 			taken[req.Name] = true
 			fmt.Printf("serve: accepted job %q (%s, %d records)\n", req.Name, req.Job, req.Records)
-			go runServedJob(ctx, cluster, store, req)
+			go runServedJob(ctx, cluster, store, req, boundDebug)
 			return nil
 		}); err != nil {
 			return err
@@ -193,9 +218,9 @@ func serve(ctx context.Context, store *bag.Store, computes, slots int, debugAddr
 // runServedJob executes one submitted job end-to-end: submit (which
 // reserves the namespace), generate and load the input, wait, verify,
 // and publish the result record.
-func runServedJob(ctx context.Context, cluster *core.Cluster, store *bag.Store, req jobRequest) {
+func runServedJob(ctx context.Context, cluster *core.Cluster, store *bag.Store, req jobRequest, debugAddr string) {
 	start := time.Now()
-	res := jobResult{Name: req.Name, ID: req.ID}
+	res := jobResult{Name: req.Name, ID: req.ID, Trace: req.Trace, Debug: debugAddr}
 	err := func() error {
 		// A submission replayed after a server crash may have left a
 		// partial namespace behind (sealed inputs, half-written
@@ -209,8 +234,10 @@ func runServedJob(ctx context.Context, cluster *core.Cluster, store *bag.Store, 
 			return runServedSqsum(ctx, cluster, store, req, &res)
 		case "groupby":
 			return runServedGroupBy(ctx, cluster, store, req, &res)
+		case "query":
+			return runServedQuery(ctx, cluster, store, req, &res)
 		default:
-			return fmt.Errorf("unknown job kind %q (want sqsum or groupby)", req.Job)
+			return fmt.Errorf("unknown job kind %q (want sqsum, groupby, or query)", req.Job)
 		}
 	}()
 	res.ElapsedMS = time.Since(start).Milliseconds()
@@ -231,7 +258,7 @@ func runServedSqsum(ctx context.Context, cluster *core.Cluster, store *bag.Store
 	if n <= 0 {
 		n = 100000
 	}
-	h, err := cluster.SubmitJob(ctx, apps.SquareSumApp(), core.JobConfig{Name: req.Name, Weight: req.Weight})
+	h, err := cluster.SubmitJob(ctx, apps.SquareSumApp(), core.JobConfig{Name: req.Name, Weight: req.Weight, TraceID: req.Trace})
 	if err != nil {
 		return err
 	}
@@ -278,7 +305,7 @@ func runServedGroupBy(ctx context.Context, cluster *core.Cluster, store *bag.Sto
 	app := apps.GroupByApp(parts, true, false, 0)
 	spec := app.BagSpecFor(apps.GroupByShuf)
 	spec.SketchEvery, spec.PollEvery = 512, 256
-	h, err := cluster.SubmitJob(ctx, app, core.JobConfig{Name: req.Name, Weight: req.Weight})
+	h, err := cluster.SubmitJob(ctx, app, core.JobConfig{Name: req.Name, Weight: req.Weight, TraceID: req.Trace})
 	if err != nil {
 		return err
 	}
@@ -289,6 +316,56 @@ func runServedGroupBy(ctx context.Context, cluster *core.Cluster, store *bag.Sto
 		return err
 	}
 	got, err := apps.CollectGroupByFrom(ctx, store, h.Bag(apps.GroupByOut))
+	if err != nil {
+		return err
+	}
+	if len(got) != len(want) {
+		return fmt.Errorf("verification failed: %d keys, want %d", len(got), len(want))
+	}
+	for k, c := range want {
+		if got[k].Count != c {
+			return fmt.Errorf("verification failed: key %d count %d, want %d", k, got[k].Count, c)
+		}
+	}
+	res.Stats = fmt.Sprintf("%+v", h.Stats())
+	return nil
+}
+
+// runServedQuery executes the planner-compiled groupby (apps.GroupByPlan)
+// as a served job. Unlike the hand-wired kinds it carries a physical
+// plan, so it registers the plan's EXPLAIN ANALYZE renderer on the job
+// handle — which is what /debug/explain serves, and what a remote
+// submitter fetches by trace ID. Results are verified against the same
+// oracle collector as the hand-wired groupby (the sink bag is
+// byte-compatible by construction).
+func runServedQuery(ctx context.Context, cluster *core.Cluster, store *bag.Store, req jobRequest, res *jobResult) error {
+	n, parts := req.Records, req.Parts
+	if n <= 0 {
+		n = 100000
+	}
+	if parts <= 0 {
+		parts = 4
+	}
+	tuples := workload.ZipfTuples(n, 64, req.Skew, 9)
+	want := workload.KeyCounts(tuples)
+	compiled, err := apps.GroupByPlan().Compile(q.Options{
+		Parts: parts, SketchEvery: 512, PollEvery: 256,
+	})
+	if err != nil {
+		return err
+	}
+	h, err := compiled.Submit(ctx, cluster, core.JobConfig{Name: req.Name, Weight: req.Weight, TraceID: req.Trace})
+	if err != nil {
+		return err
+	}
+	h.SetExplain(compiled.ExplainAnalyze)
+	if err := apps.LoadGroupByInto(ctx, store, h.Bag(apps.GroupByIn), tuples); err != nil {
+		return err
+	}
+	if err := h.Wait(ctx); err != nil {
+		return err
+	}
+	got, err := apps.CollectGroupByFrom(ctx, store, h.Bag(compiled.SinkBag(apps.GroupByOut)))
 	if err != nil {
 		return err
 	}
@@ -333,6 +410,16 @@ func submitAndWait(ctx context.Context, store *bag.Store, req jobRequest) error 
 		return err
 	}
 	req.ID = id
+	// The causal trace ID: minted here, carried in the submission record
+	// over the storage wire, threaded by the server through JobConfig into
+	// every trace event and the execution profile of the remote job. After
+	// completion it keys the fetch of the remote timeline and EXPLAIN
+	// ANALYZE from the server's debug endpoint.
+	trace, err := newSubmissionID()
+	if err != nil {
+		return err
+	}
+	req.Trace = "t-" + trace
 	data, err := json.Marshal(&req)
 	if err != nil {
 		return err
@@ -340,7 +427,7 @@ func submitAndWait(ctx context.Context, store *bag.Store, req jobRequest) error 
 	if err := store.Bag(submitBag).Insert(ctx, data); err != nil {
 		return err
 	}
-	fmt.Printf("submitted job %q (%s); waiting for completion...\n", req.Name, req.Job)
+	fmt.Printf("submitted job %q (%s) trace=%s; waiting for completion...\n", req.Name, req.Job, req.Trace)
 	sc := store.Scanner(doneBag)
 	for {
 		var found *jobResult
@@ -359,12 +446,66 @@ func submitAndWait(ctx context.Context, store *bag.Store, req jobRequest) error 
 			if !found.OK {
 				return fmt.Errorf("job %q failed: %s", found.Name, found.Err)
 			}
+			fetchRemoteDebug(ctx, found.Debug, req.Trace)
 			return nil
 		}
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// fetchRemoteDebug pulls the completed job's observability across the
+// process boundary: the EXPLAIN ANALYZE text, the execution profile
+// summary, and the decision-event timeline, all resolved by the causal
+// trace ID on the serving process's debug endpoint. Best-effort — the
+// job already succeeded; an unreachable debug surface (server on
+// another host, or -debug off) costs the report, not the run.
+func fetchRemoteDebug(ctx context.Context, debugAddr, trace string) {
+	if debugAddr == "" || trace == "" {
+		return
+	}
+	get := func(path string) ([]byte, bool) {
+		url := "http://" + debugAddr + path
+		rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		hreq, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, false
+		}
+		resp, err := http.DefaultClient.Do(hreq)
+		if err != nil {
+			fmt.Printf("remote debug %s unreachable: %v\n", url, err)
+			return nil, false
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			fmt.Printf("remote debug %s: status %s\n", url, resp.Status)
+			return nil, false
+		}
+		return body, true
+	}
+	if body, ok := get("/debug/explain/?trace=" + trace); ok {
+		fmt.Printf("\nremote EXPLAIN ANALYZE (trace=%s via %s):\n%s", trace, debugAddr, body)
+	}
+	if body, ok := get("/debug/profile/?trace=" + trace); ok {
+		var p obs.Profile
+		if json.Unmarshal(body, &p) == nil {
+			fmt.Printf("\nremote profile:\n%s", p.String())
+		}
+	}
+	if body, ok := get("/debug/trace?trace=" + trace); ok {
+		var tl struct {
+			Events []obs.Event `json:"events"`
+		}
+		if json.Unmarshal(body, &tl) == nil {
+			fmt.Printf("remote timeline: %d events stamped trace=%s\n", len(tl.Events), trace)
+			for _, e := range tl.Events {
+				fmt.Printf("  %8dus %-18s %-24s %s\n", e.TMicros, e.Type, e.Subject, e.Detail)
+			}
 		}
 	}
 }

@@ -60,6 +60,15 @@ type ClusterConfig struct {
 	// Spans are on by default and cost two or three clock reads per
 	// chunk; this knob exists for overhead A/B measurements.
 	DisableSpans bool
+	// SlowOpThreshold is the storage-op duration at which the transport
+	// and storage-node meters emit EvStorageSlowOp trace events (0 =
+	// transport.DefaultSlowOp, negative disables them).
+	SlowOpThreshold time.Duration
+	// DisableWireTelemetry leaves the in-proc transport and storage
+	// nodes unmetered (no hurricane_storage_op_* series) while keeping
+	// the rest of the observer wiring. The wire-bench A/B uses it to
+	// price the storage-tier meters in isolation.
+	DisableWireTelemetry bool
 }
 
 func (c *ClusterConfig) fill() {
@@ -144,6 +153,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.TransportLatency > 0 {
 		c.inproc.SetLatency(cfg.TransportLatency)
 	}
+	if !cfg.DisableWireTelemetry {
+		c.inproc.Bind(transport.NewMeter(c.obs, "inproc", "", cfg.SlowOpThreshold))
+	}
 	names := make([]string, 0, cfg.StorageNodes)
 	for i := 0; i < cfg.StorageNodes; i++ {
 		name := fmt.Sprintf("storage-%d", i)
@@ -152,6 +164,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			opts = append(opts, storage.WithDir(fmt.Sprintf("%s/%s", cfg.DiskDir, name)))
 		}
 		node := storage.NewNode(name, opts...)
+		if !cfg.DisableWireTelemetry {
+			node.Bind(c.obs, cfg.SlowOpThreshold)
+		}
 		c.storages[name] = node
 		c.inproc.Register(name, node)
 		names = append(names, name)
@@ -227,6 +242,24 @@ func (c *Cluster) Job(name string) *JobHandle {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.jobs[name]
+}
+
+// JobByTrace returns the handle of the job submitted with the given
+// causal trace ID (JobConfig.TraceID), or nil. The debug endpoints use
+// it to answer ?trace= queries from remote submitters that know only
+// the ID they minted.
+func (c *Cluster) JobByTrace(id string) *JobHandle {
+	if id == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, h := range c.jobs {
+		if h.cfg.TraceID == id {
+			return h
+		}
+	}
+	return nil
 }
 
 // ensurePoolLocked lazily provisions the shared compute pool and the
@@ -472,6 +505,9 @@ func (c *Cluster) AddStorageNode() string {
 		opts = append(opts, storage.WithDir(fmt.Sprintf("%s/%s", c.cfg.DiskDir, name)))
 	}
 	node := storage.NewNode(name, opts...)
+	if !c.cfg.DisableWireTelemetry {
+		node.Bind(c.obs, c.cfg.SlowOpThreshold)
+	}
 	c.storages[name] = node
 	c.inproc.Register(name, node)
 	c.store.AddNode(name)
@@ -571,6 +607,7 @@ func (c *Cluster) RecoverMaster(ctx context.Context) *Master {
 	}
 	mcfg.Job = h.id
 	mcfg.Obs = c.obs
+	mcfg.TraceID = h.cfg.TraceID
 	m := NewMaster(h.app, c.store, &jobControl{c: c, job: h.id}, mcfg)
 	h.mu.Lock()
 	old := h.master

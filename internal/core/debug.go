@@ -19,12 +19,18 @@ import (
 // over HTTP:
 //
 //	/metrics             Prometheus text exposition of the metrics registry
-//	/debug/trace         the skew-event trace as JSON (?job= and ?type= filter)
+//	/debug/trace         the skew-event trace as JSON (?job=, ?type=, and
+//	                     ?trace= — the submitter-minted causal ID — filter)
 //	/debug/skew          per-edge heavy-hitter table and partition heat, from
 //	                     the live merged producer sketches
 //	/debug/profile/<job> the job's execution profile (JobHandle.Profile) as
 //	                     JSON: per-stage phase spans, critical path, edge skew
+//	/debug/explain/<job> the job's EXPLAIN ANALYZE as text (the compiled
+//	                     plan's rendering when the job registered one)
 //	/debug/pprof/        the standard net/http/pprof profiles
+//
+// /debug/profile/ and /debug/explain/ with an empty job name accept
+// ?trace=<id> and resolve the job through its submission trace ID.
 //
 // cmd/hurricane-run mounts it with -serve; embedded users mount it on any
 // mux. Handlers read the same structures the control plane writes, so
@@ -156,12 +162,13 @@ func (c *Cluster) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
 		job := r.URL.Query().Get("job")
+		trace := r.URL.Query().Get("trace")
 		typ := obs.EventType(r.URL.Query().Get("type"))
 		tr := c.obs.Tracer()
 		resp := struct {
 			Dropped uint64      `json:"dropped"`
 			Events  []obs.Event `json:"events"`
-		}{Dropped: tr.Dropped(), Events: tr.Events(job, typ)}
+		}{Dropped: tr.Dropped(), Events: tr.EventsFiltered(job, trace, typ)}
 		if resp.Events == nil {
 			resp.Events = []obs.Event{}
 		}
@@ -178,12 +185,7 @@ func (c *Cluster) DebugHandler() http.Handler {
 	})
 	mux.HandleFunc("/debug/profile/", func(w http.ResponseWriter, r *http.Request) {
 		job := strings.TrimPrefix(r.URL.Path, "/debug/profile/")
-		c.mu.Lock()
-		h := c.jobs[job]
-		if h == nil && job == "" {
-			h = c.primary
-		}
-		c.mu.Unlock()
+		h := c.debugJob(job, r.URL.Query().Get("trace"))
 		if h == nil {
 			http.Error(w, "unknown job "+job, http.StatusNotFound)
 			return
@@ -195,12 +197,42 @@ func (c *Cluster) DebugHandler() http.Handler {
 		}
 		writeJSON(w, p)
 	})
+	mux.HandleFunc("/debug/explain/", func(w http.ResponseWriter, r *http.Request) {
+		job := strings.TrimPrefix(r.URL.Path, "/debug/explain/")
+		h := c.debugJob(job, r.URL.Query().Get("trace"))
+		if h == nil {
+			http.Error(w, "unknown job "+job, http.StatusNotFound)
+			return
+		}
+		text := h.Explain()
+		if text == "" {
+			http.Error(w, "job "+job+" is queued; no profile yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(text))
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// debugJob resolves a debug request's job selector: an explicit job
+// name wins; an empty name with ?trace= resolves through the submission
+// trace ID; an empty name alone falls back to the primary job.
+func (c *Cluster) debugJob(job, trace string) *JobHandle {
+	if job != "" {
+		return c.Job(job)
+	}
+	if trace != "" {
+		return c.JobByTrace(trace)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.primary
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

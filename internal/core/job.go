@@ -44,6 +44,14 @@ type JobConfig struct {
 	// uses the cluster default). This is how co-running jobs get
 	// different mitigation policies.
 	Master *MasterConfig
+	// TraceID is the causal trace ID minted by the submitter (for remote
+	// submissions, at `hurricane-run -submit` before the request crosses
+	// the wire). When set, every trace event and the execution profile of
+	// this job carry it, and the cluster's debug endpoints resolve
+	// ?trace=<id> back to the job — which is how a submitter that never
+	// learns the server-side job name fetches the job's timeline and
+	// EXPLAIN ANALYZE across the process boundary.
+	TraceID string
 	// Seeds are warm-start partition maps for the job's partitioned
 	// edges, keyed by declared bag name (the query planner's compile-time
 	// skew memory). They are published into the job's (namespaced) edge
@@ -73,12 +81,13 @@ type JobHandle struct {
 	cfg    JobConfig
 	subCtx context.Context // submission context; used if admitted later
 
-	mu     sync.Mutex
-	master *Master
-	swap   chan struct{} // closed when master is replaced (recovery)
-	state  sched.State
-	err    error
-	done   chan struct{}
+	mu      sync.Mutex
+	master  *Master
+	swap    chan struct{} // closed when master is replaced (recovery)
+	state   sched.State
+	err     error
+	done    chan struct{}
+	explain func(*obs.Profile) string
 }
 
 // ID returns the job's unique name.
@@ -170,6 +179,33 @@ func (h *JobHandle) Profile() *obs.Profile {
 		return nil
 	}
 	return m.Profile()
+}
+
+// SetExplain registers a renderer that turns the job's measured profile
+// into an EXPLAIN ANALYZE report. Planner-compiled jobs register their
+// physical plan's renderer at submission; hand-wired jobs leave it unset
+// and Explain falls back to the profile's generic rendering.
+func (h *JobHandle) SetExplain(f func(*obs.Profile) string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.explain = f
+}
+
+// Explain renders the job's EXPLAIN ANALYZE: the registered renderer
+// applied to the measured profile, or the profile's generic rendering
+// when none was registered. Empty while the job is still queued.
+func (h *JobHandle) Explain() string {
+	p := h.Profile()
+	if p == nil {
+		return ""
+	}
+	h.mu.Lock()
+	f := h.explain
+	h.mu.Unlock()
+	if f != nil {
+		return f(p)
+	}
+	return p.String()
 }
 
 // currentMaster returns the job's master (nil while queued).
@@ -470,6 +506,11 @@ func (c *Cluster) SubmitJob(ctx context.Context, app *App, cfg JobConfig) (*JobH
 				cfg.Name, prefix, id, other.prefix)
 		}
 	}
+	// Register the causal trace ID before admission: the scheduler's own
+	// events (LeaseGrant at admission) must already carry it.
+	if cfg.TraceID != "" {
+		c.obs.Tracer().SetJobTrace(cfg.Name, cfg.TraceID)
+	}
 	start, err := c.reg.Submit(cfg.Name, claims, cfg.Weight)
 	if err != nil {
 		return nil, err
@@ -506,6 +547,7 @@ func (c *Cluster) startJobLocked(ctx context.Context, h *JobHandle) {
 	}
 	mcfg.Job = h.id
 	mcfg.Obs = c.obs
+	mcfg.TraceID = h.cfg.TraceID
 	if len(h.cfg.Seeds) > 0 {
 		mcfg.Seeds = make(map[string]*shuffle.PartitionMap, len(h.cfg.Seeds))
 		for name, seed := range h.cfg.Seeds {

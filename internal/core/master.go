@@ -125,6 +125,11 @@ type MasterConfig struct {
 	// disables instrumentation (every update site degrades to a nil
 	// check).
 	Obs *obs.Observer
+
+	// TraceID is the submitter-minted causal trace ID (JobConfig.TraceID).
+	// The master registers it with the trace ring at start so every event
+	// of this job — and its execution profile — carries the ID.
+	TraceID string
 }
 
 func (c *MasterConfig) fill() {
@@ -455,6 +460,9 @@ func (m *Master) Start(parent context.Context) {
 	m.mu.Lock()
 	m.profStart = time.Now()
 	m.mu.Unlock()
+	if m.cfg.TraceID != "" {
+		m.cfg.Obs.Tracer().SetJobTrace(m.cfg.Job, m.cfg.TraceID)
+	}
 	m.ctx, m.cancel = context.WithCancel(parent)
 	m.wg.Add(1)
 	go m.loop()

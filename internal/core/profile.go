@@ -30,6 +30,7 @@ func (m *Master) Profile() *obs.Profile {
 	}
 
 	p := obs.BuildProfile(m.cfg.Job, wall, spans, m.stageDeps())
+	p.TraceID = m.cfg.TraceID
 	m.attributeEdgeSkew(p)
 	return p
 }

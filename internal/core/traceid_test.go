@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestCausalTraceID runs a job submitted with a causal trace ID — the
+// cross-process correlation handle a remote submitter mints — and checks
+// the whole chain: events stamped, profile tagged, JobByTrace resolution,
+// and the ?trace= forms of /debug/trace, /debug/profile/, and
+// /debug/explain/ that a remote client uses without knowing the job name.
+func TestCausalTraceID(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cluster, err := NewCluster(testClusterConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	const traceID = "t-cafe0123"
+	var proc atomic.Int64
+	h, err := cluster.SubmitJob(ctx, sumApp(&proc), JobConfig{Name: "jobT", TraceID: traceID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIntsBag(t, ctx, cluster.Store(), h.Bag("in"), 4000)
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The handle resolves by trace ID, and its profile carries the ID.
+	if got := cluster.JobByTrace(traceID); got != h {
+		t.Fatalf("JobByTrace = %v, want the submitted handle", got)
+	}
+	if got := cluster.JobByTrace("t-unknown"); got != nil {
+		t.Fatalf("unknown trace resolved to %v", got)
+	}
+	p := h.Profile()
+	if p == nil || p.TraceID != traceID {
+		t.Fatalf("profile trace ID = %+v, want %q", p, traceID)
+	}
+
+	// Every trace event of the job is stamped.
+	events := cluster.Observer().Tracer().Events("jobT", "")
+	if len(events) == 0 {
+		t.Fatal("no events for jobT")
+	}
+	for _, e := range events {
+		if e.Trace != traceID {
+			t.Fatalf("unstamped event: %+v", e)
+		}
+	}
+
+	srv := httptest.NewServer(cluster.DebugHandler())
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	// /debug/trace?trace= narrows to the stamped events.
+	code, body := get("/debug/trace?trace=" + traceID)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	var tracePage struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &tracePage); err != nil {
+		t.Fatal(err)
+	}
+	if len(tracePage.Events) == 0 {
+		t.Fatal("?trace= returned no events")
+	}
+	for _, e := range tracePage.Events {
+		if e.Job != "jobT" || e.Trace != traceID {
+			t.Fatalf("?trace= leaked foreign event: %+v", e)
+		}
+	}
+
+	// /debug/profile/?trace= resolves the job without its name.
+	code, body = get("/debug/profile/?trace=" + traceID)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/profile/?trace= status %d: %s", code, body)
+	}
+	var prof obs.Profile
+	if err := json.Unmarshal([]byte(body), &prof); err != nil {
+		t.Fatal(err)
+	}
+	if prof.TraceID != traceID || prof.Job != "jobT" {
+		t.Fatalf("remote profile = job %q trace %q", prof.Job, prof.TraceID)
+	}
+
+	// /debug/explain/?trace=: default rendering first, then a registered
+	// renderer (what a planner-compiled job installs via SetExplain).
+	code, body = get("/debug/explain/?trace=" + traceID)
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/explain/?trace= status %d body %q", code, body)
+	}
+	if !strings.Contains(body, "jobT") {
+		t.Fatalf("default explain does not mention the job: %q", body)
+	}
+	h.SetExplain(func(p *obs.Profile) string { return "EXPLAIN:" + p.TraceID })
+	code, body = get("/debug/explain/?trace=" + traceID)
+	if code != http.StatusOK || body != "EXPLAIN:"+traceID {
+		t.Fatalf("registered explain: status %d body %q", code, body)
+	}
+
+	// Unknown trace IDs 404 on both resolving endpoints.
+	if code, _ := get("/debug/explain/?trace=t-unknown"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace explain status %d", code)
+	}
+	if code, _ := get("/debug/profile/?trace=t-unknown"); code != http.StatusNotFound {
+		t.Fatalf("unknown trace profile status %d", code)
+	}
+}

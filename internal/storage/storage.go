@@ -14,9 +14,13 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sketch"
 	"repro/internal/transport"
 )
@@ -63,6 +67,11 @@ type Node struct {
 	sketches map[string]map[string][]byte
 
 	newBackend func(bag string) (backend, error)
+
+	// meter, when bound, records per-op telemetry for every request
+	// this node handles, regardless of which transport delivered it.
+	meter atomic.Pointer[transport.Meter]
+	obs   atomic.Pointer[obs.Observer]
 }
 
 // Option configures a Node.
@@ -97,6 +106,69 @@ func NewNode(name string, opts ...Option) *Node {
 
 // Name returns the node's name.
 func (n *Node) Name() string { return n.name }
+
+// Bind attaches an observer: every handled request is recorded under
+// role="node" with the node's name as a label (per-op latency, payload
+// bytes, errors), and ops at or above slow emit EvStorageSlowOp trace
+// events (slow == 0 selects transport.DefaultSlowOp, slow < 0 disables
+// them). Safe to call concurrently with Handle; bind nil to stop.
+func (n *Node) Bind(o *obs.Observer, slow time.Duration) {
+	n.obs.Store(o)
+	n.meter.Store(transport.NewMeter(o, "node", n.name, slow))
+}
+
+// Observer returns the observer bound to this node (nil when unbound).
+func (n *Node) Observer() *obs.Observer { return n.obs.Load() }
+
+// BagStats is one bag's state in a Node.Stats summary.
+type BagStats struct {
+	Bag         string `json:"bag"`
+	TotalChunks int64  `json:"total_chunks"`
+	ReadChunks  int64  `json:"read_chunks"`
+	TotalBytes  int64  `json:"total_bytes"`
+	ReadBytes   int64  `json:"read_bytes"`
+	Sealed      bool   `json:"sealed"`
+}
+
+// NodeStats is the summary served by the storage debug endpoint.
+type NodeStats struct {
+	Node        string     `json:"node"`
+	Draining    bool       `json:"draining"`
+	Bags        []BagStats `json:"bags"`
+	TotalChunks int64      `json:"total_chunks"`
+	TotalBytes  int64      `json:"total_bytes"`
+	SketchEdges int        `json:"sketch_edges"`
+}
+
+// Stats summarizes the node: per-bag chunk/byte/read-pointer stats from
+// each bag's backend, sorted by name, plus node-wide totals and the
+// number of shuffle edges with sketch state.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	st := NodeStats{Node: n.name, Draining: n.draining}
+	bags := make(map[string]*bagState, len(n.bags))
+	for name, bs := range n.bags {
+		bags[name] = bs
+	}
+	n.mu.Unlock()
+	for name, bs := range bags {
+		bs.mu.Lock()
+		tc, rc, tb, rb := bs.b.stats()
+		sealed := bs.sealed
+		bs.mu.Unlock()
+		st.Bags = append(st.Bags, BagStats{
+			Bag: name, TotalChunks: tc, ReadChunks: rc,
+			TotalBytes: tb, ReadBytes: rb, Sealed: sealed,
+		})
+		st.TotalChunks += tc
+		st.TotalBytes += tb
+	}
+	sort.Slice(st.Bags, func(i, j int) bool { return st.Bags[i].Bag < st.Bags[j].Bag })
+	n.sketchMu.Lock()
+	st.SketchEdges = len(n.sketches)
+	n.sketchMu.Unlock()
+	return st
+}
 
 // SetDraining marks the node as draining: it rejects inserts but continues
 // to serve removes until its bags empty (§3.4, storage node removal).
@@ -142,6 +214,15 @@ func errResp(err error) *transport.Response {
 
 // Handle implements transport.Handler.
 func (n *Node) Handle(req *transport.Request) *transport.Response {
+	m := n.meter.Load()
+	start := m.Begin()
+	resp := n.handle(req)
+	m.End(req.Op, req.Bag, start, len(req.Data), len(resp.Data), resp.Error())
+	return resp
+}
+
+// handle dispatches one request; Handle wraps it with telemetry.
+func (n *Node) handle(req *transport.Request) *transport.Response {
 	switch req.Op {
 	case transport.OpPing:
 		return &transport.Response{Status: transport.StatusOK}

@@ -20,8 +20,8 @@ type InProc struct {
 	// Latency, if non-zero, is added to every call.
 	latency atomic.Int64 // nanoseconds
 
-	// stats
-	calls atomic.Int64
+	// meter, when bound, records per-op telemetry for every call.
+	meter atomic.Pointer[Meter]
 }
 
 // NewInProc returns an empty in-process transport.
@@ -68,12 +68,26 @@ func (t *InProc) Restore(node string) {
 	delete(t.down, node)
 }
 
-// Calls reports the total number of calls issued through this transport.
-func (t *InProc) Calls() int64 { return t.calls.Load() }
+// Bind attaches a meter recording per-op telemetry (latency, bytes,
+// errors, in-flight) for every call through this transport. Safe to
+// call concurrently with Call; bind nil to stop recording.
+func (t *InProc) Bind(m *Meter) { t.meter.Store(m) }
 
 // Call implements Client.
 func (t *InProc) Call(ctx context.Context, node string, req *Request) (*Response, error) {
-	t.calls.Add(1)
+	m := t.meter.Load()
+	start := m.Begin()
+	resp, err := t.call(ctx, node, req)
+	var in int
+	if resp != nil {
+		in = len(resp.Data)
+	}
+	m.End(req.Op, req.Bag, start, in, len(req.Data), respError(resp, err))
+	return resp, err
+}
+
+// call is Call without the telemetry wrapper.
+func (t *InProc) call(ctx context.Context, node string, req *Request) (*Response, error) {
 	if d := time.Duration(t.latency.Load()); d > 0 {
 		timer := time.NewTimer(d)
 		select {

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// opCount sizes the per-op metric handle arrays. Ops start at 1, so
+// index 0 stays nil and acts as the "unknown op" no-op slot.
+const opCount = int(OpDeletePrefix) + 1
+
+// DefaultSlowOp is the slow-op threshold a Meter uses when constructed
+// with slow == 0. Operations at or above it emit an EvStorageSlowOp
+// trace event.
+const DefaultSlowOp = 25 * time.Millisecond
+
+// Meter records wire-path telemetry for one storage-protocol endpoint:
+// per-op-type latency histograms and counters, bytes in/out, in-flight
+// and connection gauges, and typed slow-op trace events. One meter is
+// bound per endpoint role — "inproc" and "client" on the caller side,
+// "server" on the TCP accept side, "node" inside storage.Node — so the
+// same op shows up once per hop it crosses and asymmetries between hops
+// localize the cost.
+//
+// Metric names share the hurricane_storage_op_* / hurricane_storage_*
+// prefix with role (and, for storage nodes, node) labels:
+//
+//	hurricane_storage_op_total{role,op}         ops completed
+//	hurricane_storage_op_errors_total{role,op}  ops failed (not empty/again)
+//	hurricane_storage_op_ns{role,op}            latency histogram (ns)
+//	hurricane_storage_bytes_in_total{role}      bytes received
+//	hurricane_storage_bytes_out_total{role}     bytes sent
+//	hurricane_storage_retries_total{role}       ErrAgain responses (caller will retry)
+//	hurricane_storage_inflight{role}            ops currently executing
+//	hurricane_storage_conns{role}               open TCP connections
+//	hurricane_storage_dials_total{role}         TCP dials attempted
+//
+// All handles are registered once at construction; the per-op record
+// path is a few atomic adds. A nil *Meter is a no-op, so endpoints can
+// be instrumented unconditionally and pay one nil check when telemetry
+// is off.
+type Meter struct {
+	o       *obs.Observer
+	subject string // node name when set, else role; slow-op event subject
+	slow    time.Duration
+
+	ops  [opCount]*obs.Counter
+	errs [opCount]*obs.Counter
+	lat  [opCount]*obs.Histogram
+
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+	retries  *obs.Counter
+	inflight *obs.Gauge
+	conns    *obs.Gauge
+	dials    *obs.Counter
+}
+
+// NewMeter registers a meter's metric series on o under the given role
+// (and node, when non-empty) labels. slow == 0 selects DefaultSlowOp;
+// slow < 0 disables slow-op trace events. Returns nil (a no-op meter)
+// when o is nil.
+func NewMeter(o *obs.Observer, role, node string, slow time.Duration) *Meter {
+	if o == nil {
+		return nil
+	}
+	if slow == 0 {
+		slow = DefaultSlowOp
+	}
+	base := []string{"role", role}
+	subject := role
+	if node != "" {
+		base = append(base, "node", node)
+		subject = node
+	}
+	m := &Meter{o: o, subject: subject, slow: slow}
+	for op := Op(1); int(op) < opCount; op++ {
+		lbl := make([]string, 0, len(base)+2)
+		lbl = append(append(lbl, base...), "op", op.String())
+		m.ops[op] = o.Counter("hurricane_storage_op_total", lbl...)
+		m.errs[op] = o.Counter("hurricane_storage_op_errors_total", lbl...)
+		m.lat[op] = o.Histogram("hurricane_storage_op_ns", lbl...)
+	}
+	m.bytesIn = o.Counter("hurricane_storage_bytes_in_total", base...)
+	m.bytesOut = o.Counter("hurricane_storage_bytes_out_total", base...)
+	m.retries = o.Counter("hurricane_storage_retries_total", base...)
+	m.inflight = o.Gauge("hurricane_storage_inflight", base...)
+	m.conns = o.Gauge("hurricane_storage_conns", base...)
+	m.dials = o.Counter("hurricane_storage_dials_total", base...)
+	return m
+}
+
+// Begin marks an op as in flight and returns its start time.
+func (m *Meter) Begin() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	m.inflight.Add(1)
+	return time.Now()
+}
+
+// End completes the op started at start: op/latency/bytes accounting,
+// error vs retry classification, and the slow-op trace event. bytesIn
+// and bytesOut are from this endpoint's perspective (a client sends the
+// request out and reads the response in; a server the reverse). err is
+// the op's semantic outcome — pass resp.Error() for a decoded response,
+// or the transport error; ErrEmpty/ErrAgain count as success (ErrAgain
+// additionally as a retry), everything else as an error.
+func (m *Meter) End(op Op, bag string, start time.Time, bytesIn, bytesOut int, err error) {
+	if m == nil {
+		return
+	}
+	m.inflight.Add(-1)
+	m.bytesIn.Add(uint64(bytesIn))
+	m.bytesOut.Add(uint64(bytesOut))
+	if int(op) <= 0 || int(op) >= opCount {
+		return
+	}
+	m.ops[op].Inc()
+	elapsed := time.Since(start)
+	m.lat[op].Observe(elapsed.Nanoseconds())
+	switch {
+	case err == nil || errors.Is(err, ErrEmpty):
+	case errors.Is(err, ErrAgain):
+		m.retries.Inc()
+	default:
+		m.errs[op].Inc()
+	}
+	if m.slow > 0 && elapsed >= m.slow {
+		m.o.Emit(obs.EvStorageSlowOp, "", m.subject,
+			fmt.Sprintf("op=%s bag=%s took=%s", op, bag, elapsed.Round(time.Microsecond)))
+	}
+}
+
+// Dial counts one TCP dial attempt.
+func (m *Meter) Dial() {
+	if m == nil {
+		return
+	}
+	m.dials.Inc()
+}
+
+// ConnOpened / ConnClosed adjust the open-connection gauge.
+func (m *Meter) ConnOpened() {
+	if m == nil {
+		return
+	}
+	m.conns.Add(1)
+}
+
+// ConnClosed is the counterpart of ConnOpened.
+func (m *Meter) ConnClosed() {
+	if m == nil {
+		return
+	}
+	m.conns.Add(-1)
+}
+
+// respError extracts the semantic outcome of a call for End: the
+// transport error when the call failed outright, else the response's
+// status mapped to its sentinel error.
+func respError(resp *Response, err error) error {
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// frameBytes returns the on-wire size of a message body of n bytes:
+// the body plus its uvarint length prefix.
+func frameBytes(n int) int {
+	size := 1
+	for v := uint64(n); v >= 0x80; v >>= 7 {
+		size++
+	}
+	return n + size
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -18,7 +19,13 @@ type TCPServer struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+	meter    atomic.Pointer[Meter]
 }
+
+// Bind attaches a meter recording per-op telemetry (latency, wire
+// bytes, errors, connection and in-flight gauges) for every request
+// this server handles. Safe to call concurrently with serving.
+func (s *TCPServer) Bind(m *Meter) { s.meter.Store(m) }
 
 // NewTCPServer returns a server dispatching requests to h.
 func NewTCPServer(h Handler) *TCPServer {
@@ -62,7 +69,10 @@ func (s *TCPServer) acceptLoop(ln net.Listener) {
 
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	cm := s.meter.Load()
+	cm.ConnOpened()
 	defer func() {
+		cm.ConnClosed()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -76,6 +86,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		m := s.meter.Load()
+		start := m.Begin()
 		req, err := DecodeRequest(body)
 		var resp *Response
 		if err != nil {
@@ -84,6 +96,12 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			resp = s.Handler.Handle(req)
 		}
 		buf = EncodeResponse(buf[:0], resp)
+		var op Op
+		var bag string
+		if req != nil {
+			op, bag = req.Op, req.Bag
+		}
+		m.End(op, bag, start, frameBytes(len(body)), frameBytes(len(buf)), resp.Error())
 		if err := writeMessage(bw, buf); err != nil {
 			return
 		}
@@ -115,13 +133,32 @@ type TCPClient struct {
 	mu     sync.Mutex
 	idle   map[string][]*tcpConn
 	closed bool
+	meter  atomic.Pointer[Meter]
 }
 
 type tcpConn struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+	// m is the meter that counted this connection's open, captured at
+	// dial time so the close decrement lands on the same gauge even if
+	// the client is re-bound meanwhile.
+	m *Meter
 }
+
+// close closes the connection and settles its gauge accounting. Every
+// tcpConn is closed through exactly one of the client's paths (call
+// failure, pool replacement, or Close), so the decrement pairs with the
+// dial-time increment.
+func (tc *tcpConn) close() {
+	tc.c.Close()
+	tc.m.ConnClosed()
+}
+
+// Bind attaches a meter recording per-op telemetry (latency, wire
+// bytes, errors, dial and connection gauges) for every call through
+// this client. Safe to call concurrently with Call.
+func (c *TCPClient) Bind(m *Meter) { c.meter.Store(m) }
 
 // NewTCPClient returns a client that reaches each named node at the given
 // TCP address.
@@ -134,12 +171,18 @@ func NewTCPClient(addrs map[string]string) *TCPClient {
 }
 
 // SetAddr adds or updates a node's address (used when storage nodes are
-// added at runtime, §3.4).
+// added at runtime, §3.4). Pooled connections to the node's previous
+// address are closed — they would otherwise leak (and keep the
+// connection gauge inflated) since the pool never hands them out again.
 func (c *TCPClient) SetAddr(node, addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	stale := c.idle[node]
 	c.addrs[node] = addr
 	c.idle[node] = nil
+	c.mu.Unlock()
+	for _, tc := range stale {
+		tc.close()
+	}
 }
 
 var errClientClosed = errors.New("transport: client closed")
@@ -162,14 +205,18 @@ func (c *TCPClient) get(node string) (*tcpConn, error) {
 	if !ok {
 		return nil, ErrNodeDown
 	}
+	m := c.meter.Load()
+	m.Dial()
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, ErrNodeDown
 	}
+	m.ConnOpened()
 	return &tcpConn{
 		c:  conn,
 		br: bufio.NewReaderSize(conn, 1<<20),
 		bw: bufio.NewWriterSize(conn, 1<<20),
+		m:  m,
 	}, nil
 }
 
@@ -177,7 +224,7 @@ func (c *TCPClient) put(node string, tc *tcpConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		tc.c.Close()
+		tc.close()
 		return
 	}
 	c.idle[node] = append(c.idle[node], tc)
@@ -185,12 +232,22 @@ func (c *TCPClient) put(node string, tc *tcpConn) {
 
 // Call implements Client.
 func (c *TCPClient) Call(ctx context.Context, node string, req *Request) (*Response, error) {
+	m := c.meter.Load()
+	start := m.Begin()
+	resp, in, out, err := c.call(ctx, node, req)
+	m.End(req.Op, req.Bag, start, in, out, respError(resp, err))
+	return resp, err
+}
+
+// call is Call without the telemetry wrapper; it returns the wire bytes
+// read and written alongside the response.
+func (c *TCPClient) call(ctx context.Context, node string, req *Request) (resp *Response, in, out int, err error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	tc, err := c.get(node)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if deadline, ok := ctx.Deadline(); ok {
 		tc.c.SetDeadline(deadline)
@@ -198,22 +255,24 @@ func (c *TCPClient) Call(ctx context.Context, node string, req *Request) (*Respo
 		tc.c.SetDeadline(zeroTime)
 	}
 	body := EncodeRequest(nil, req)
+	out = frameBytes(len(body))
 	if err := writeMessage(tc.bw, body); err != nil {
-		tc.c.Close()
-		return nil, ErrNodeDown
+		tc.close()
+		return nil, 0, out, ErrNodeDown
 	}
 	respBody, err := readMessage(tc.br)
 	if err != nil {
-		tc.c.Close()
-		return nil, ErrNodeDown
+		tc.close()
+		return nil, 0, out, ErrNodeDown
 	}
-	resp, err := DecodeResponse(respBody)
+	in = frameBytes(len(respBody))
+	resp, err = DecodeResponse(respBody)
 	if err != nil {
-		tc.c.Close()
-		return nil, err
+		tc.close()
+		return nil, in, out, err
 	}
 	c.put(node, tc)
-	return resp, nil
+	return resp, in, out, nil
 }
 
 // Close implements Client.
@@ -223,7 +282,7 @@ func (c *TCPClient) Close() error {
 	c.closed = true
 	for _, pool := range c.idle {
 		for _, tc := range pool {
-			tc.c.Close()
+			tc.close()
 		}
 	}
 	c.idle = make(map[string][]*tcpConn)

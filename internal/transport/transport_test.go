@@ -7,6 +7,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestWireRequestRoundTripQuick(t *testing.T) {
@@ -147,6 +149,8 @@ func (e *echoHandler) Handle(req *Request) *Response {
 
 func TestInProcBasics(t *testing.T) {
 	tr := NewInProc()
+	o := obs.New(0)
+	tr.Bind(NewMeter(o, "inproc", "", 0))
 	h := &echoHandler{}
 	tr.Register("n1", h)
 	ctx := context.Background()
@@ -170,8 +174,16 @@ func TestInProcBasics(t *testing.T) {
 	if _, err := tr.Call(ctx, "n1", &Request{Op: OpPing}); err != ErrNodeDown {
 		t.Fatalf("deregistered node: got %v", err)
 	}
-	if tr.Calls() < 4 {
-		t.Fatalf("calls counter = %d", tr.Calls())
+	// The bound meter supersedes the old private calls counter: every
+	// call — including the failed ones — shows up in the per-op series.
+	snap := o.Registry().Snapshot()
+	const pings = `hurricane_storage_op_total{role="inproc",op="ping"}`
+	if got := snap[pings]; got != 5 {
+		t.Fatalf("ping op counter = %v, want 5 (snapshot %v)", got, snap)
+	}
+	const pingErrs = `hurricane_storage_op_errors_total{role="inproc",op="ping"}`
+	if got := snap[pingErrs]; got != 3 {
+		t.Fatalf("ping error counter = %v, want 3", got)
 	}
 }
 
