@@ -43,6 +43,12 @@
 // and an interleaved telemetry-on/off A/B pricing the storage-tier
 // meters — and writes BENCH_wire_baseline.json, the baseline for the
 // ROADMAP wire-path optimisation target.
+//
+// "trend" aggregates the headline ratio of every committed BENCH_*.json
+// into BENCH_TREND.json plus a markdown table (BENCH_TREND.md) — the
+// machine-checkable perf history. "trend-check" recomputes the headlines
+// from the documents in the tree and fails when one regressed past its
+// committed trend value minus tolerance; CI runs it on every push.
 package main
 
 import (
@@ -131,6 +137,8 @@ var engineBenches = map[string]func() error{
 	"vector":          vectorBench,
 	"vector-check":    vectorCheck,
 	"wire":            wireBench,
+	"trend":           trendCmd,
+	"trend-check":     trendCheckCmd,
 }
 
 // validExperiments lists every runnable experiment name for error

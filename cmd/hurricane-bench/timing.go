@@ -22,6 +22,27 @@ type benchObs struct {
 	// Profile is the profiled job's execution summary (absent when the
 	// run kept no handle or span profiling was off).
 	Profile *obs.Summary `json:"profile,omitempty"`
+	// Timeline is the run's sampled history from the cluster's
+	// time-series recorder, filtered to the decision-relevant series
+	// (task counts, skew shares, watchdog alerts, stream windows) so the
+	// document shows *when* the run's mitigation story happened, not
+	// just its totals. Absent when the sampler was off or the run was
+	// too short for a sample tick.
+	Timeline []obs.SeriesDump `json:"timeline,omitempty"`
+}
+
+// timelineFilters selects which sampled series a BENCH document embeds.
+// The full recorder dump carries every registry series — hundreds at
+// label granularity — where the document wants the arc of the run.
+var timelineFilters = []string{
+	"hurricane_core_tasks_",
+	"hurricane_core_clones_total",
+	"hurricane_core_splits_total",
+	"hurricane_core_isolations_total",
+	"hurricane_skew_",
+	"hurricane_watch_alerts_total",
+	"hurricane_stream_window_",
+	"hurricane_trace_dropped_total",
 }
 
 // captureObs fills the shared block from a still-running cluster.
@@ -40,6 +61,10 @@ func captureObs(c *core.Cluster, h *core.JobHandle, collapse bool) benchObs {
 			b.Profile = &s
 		}
 	}
+	// One explicit sample first: a run shorter than the sampler cadence
+	// would otherwise embed an empty timeline.
+	c.Watch().Eval(c.Recorder().Sample())
+	b.Timeline = c.Recorder().Dump(timelineFilters, -1)
 	return b
 }
 

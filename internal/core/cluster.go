@@ -69,7 +69,23 @@ type ClusterConfig struct {
 	// the rest of the observer wiring. The wire-bench A/B uses it to
 	// price the storage-tier meters in isolation.
 	DisableWireTelemetry bool
+	// SampleInterval is the continuous-telemetry cadence: the cluster's
+	// sampler snapshots the metrics registry plus the captured skew
+	// state into the time-series Recorder and evaluates the watchdog
+	// rules on every tick. 0 selects DefaultSampleInterval; negative
+	// disables the sampler (as does DisableSampler or DisableObs).
+	SampleInterval time.Duration
+	// DisableSampler turns the time-series recorder and watchdogs off
+	// while keeping the rest of the observer. This is the overhead A/B
+	// knob (HURRICANE_NOSAMPLER in the benches).
+	DisableSampler bool
 }
+
+// DefaultSampleInterval is the sampler cadence when
+// ClusterConfig.SampleInterval is zero. At the default recorder depth
+// (obs.DefaultPointsPerSeries) it retains a bit over two minutes of
+// history per series.
+const DefaultSampleInterval = 250 * time.Millisecond
 
 func (c *ClusterConfig) fill() {
 	if c.StorageNodes <= 0 {
@@ -109,6 +125,8 @@ type Cluster struct {
 	reg    *sched.Registry
 	leases *sched.Leases
 	obs    *obs.Observer // nil when ClusterConfig.DisableObs
+	rec    *obs.Recorder // nil when the sampler is disabled
+	watch  *obs.Watch    // ditto
 
 	mu          sync.Mutex
 	computes    map[string]*ComputeNode
@@ -141,6 +159,12 @@ func newCluster(cfg ClusterConfig) *Cluster {
 	}
 	c.reg.Bind(o)
 	c.leases.Bind(o)
+	if o != nil && !cfg.DisableSampler && cfg.SampleInterval >= 0 {
+		c.rec = obs.NewRecorder(0)
+		c.rec.AddSource(obs.RegistrySource(o.Registry()))
+		c.rec.AddSource(c.skewSource())
+		c.watch = obs.NewWatch(o, nil)
+	}
 	return c
 }
 
@@ -207,6 +231,16 @@ func (c *Cluster) Store() *bag.Store { return c.store }
 // event trace every layer reports into. Nil when observability was
 // disabled (ClusterConfig.DisableObs).
 func (c *Cluster) Observer() *obs.Observer { return c.obs }
+
+// Recorder exposes the cluster's time-series recorder — the sampled
+// history behind /debug/timeseries. Nil when the sampler is disabled
+// (DisableObs, DisableSampler, or a negative SampleInterval); a nil
+// *Recorder is itself a no-op, so callers may use it unconditionally.
+func (c *Cluster) Recorder() *obs.Recorder { return c.rec }
+
+// Watch exposes the cluster's watchdog (nil when the sampler is
+// disabled; a nil *Watch is a no-op).
+func (c *Cluster) Watch() *obs.Watch { return c.watch }
 
 // Trace returns the cluster-wide skew-event trace, oldest first,
 // across all jobs. Nil-safe: an unobserved cluster returns nil.
@@ -278,6 +312,30 @@ func (c *Cluster) ensurePoolLocked() {
 	c.nextComp = c.cfg.ComputeNodes
 	c.leases.SetTotal(c.totalSlotsLocked())
 	go c.schedLoop()
+	if c.rec != nil {
+		go c.samplerLoop()
+	}
+}
+
+// samplerLoop drives continuous telemetry: every SampleInterval it takes
+// one recorder sample (registry snapshot + captured skew shares) and
+// runs the watchdog rules over it. It lives and dies with the compute
+// pool — started by the first job submission, stopped by Shutdown.
+func (c *Cluster) samplerLoop() {
+	interval := c.cfg.SampleInterval
+	if interval <= 0 {
+		interval = DefaultSampleInterval
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.poolCtx.Done():
+			return
+		case <-tick.C:
+			c.watch.Eval(c.rec.Sample())
+		}
+	}
 }
 
 // ---- ClusterControl (legacy, job-agnostic: used by masters constructed

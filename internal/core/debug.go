@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"sort"
@@ -27,6 +28,12 @@ import (
 //	                     JSON: per-stage phase spans, critical path, edge skew
 //	/debug/explain/<job> the job's EXPLAIN ANALYZE as text (the compiled
 //	                     plan's rendering when the job registered one)
+//	/debug/timeseries    the sampled metric history as JSON (?series=
+//	                     substring filters, ?since= incremental polls)
+//	/debug/alerts        watchdog status: rules, per-series states, and
+//	                     the raised-alert history (?firing=1 filters)
+//	/debug/dash          the live dashboard — one self-contained HTML
+//	                     page with inline sparklines polling the above
 //	/debug/pprof/        the standard net/http/pprof profiles
 //
 // /debug/profile/ and /debug/explain/ with an empty job name accept
@@ -151,9 +158,51 @@ func (c *Cluster) SkewReport(ctx context.Context) []SkewEdge {
 	return out
 }
 
+// skewSource feeds the time-series recorder the per-edge heat shares on
+// every sample tick: the top partition's share of the edge's records and
+// the top heavy key's share, labeled by job and edge. It reads only the
+// masters' captured EdgeMemory stats — deliberately never the live
+// sketch bags, so sampling stays off the wire (SkewReport pays that cost
+// on demand; a 4 Hz sampler must not).
+func (c *Cluster) skewSource() obs.Source {
+	return func(emit func(string, float64)) {
+		c.mu.Lock()
+		jobs := make([]*JobHandle, 0, len(c.jobs))
+		for _, h := range c.jobs {
+			jobs = append(jobs, h)
+		}
+		c.mu.Unlock()
+		for _, h := range jobs {
+			m := h.currentMaster()
+			if m == nil {
+				continue
+			}
+			for name, em := range m.EdgeMemory() {
+				stats := em.Stats
+				if stats == nil || stats.Total() == 0 {
+					continue
+				}
+				total := float64(stats.Total())
+				var top uint64
+				for _, n := range stats.Counts {
+					if n > top {
+						top = n
+					}
+				}
+				lbl := fmt.Sprintf("{edge=%q,job=%q}", name, h.id)
+				emit("hurricane_skew_partition_top_share"+lbl, float64(top)/total)
+				if hk := stats.TopKeys(1, 0); len(hk) > 0 {
+					emit("hurricane_skew_key_top_share"+lbl, float64(hk[0].Count)/total)
+				}
+			}
+		}
+	}
+}
+
 // DebugHandler returns the HTTP handler serving /metrics, /debug/trace,
-// /debug/skew, and /debug/pprof/. Mount it at the server root (the paths
-// are absolute).
+// /debug/skew, the continuous-telemetry surfaces (/debug/timeseries,
+// /debug/alerts, /debug/dash), and /debug/pprof/. Mount it at the server
+// root (the paths are absolute).
 func (c *Cluster) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -212,6 +261,9 @@ func (c *Cluster) DebugHandler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write([]byte(text))
 	})
+	mux.Handle("/debug/timeseries", obs.TimeseriesHandler(c.rec))
+	mux.Handle("/debug/alerts", obs.AlertsHandler(c.watch))
+	mux.Handle("/debug/dash", obs.DashHandler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -149,6 +149,128 @@ func TestDebugEndpointsLiveCluster(t *testing.T) {
 	}
 }
 
+// TestContinuousTelemetryLiveCluster: the sampler starts with the
+// compute pool, records registry series into the time-series recorder,
+// evaluates the watchdog rules, and the three telemetry endpoints serve
+// it all over the debug mux.
+func TestContinuousTelemetryLiveCluster(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	cfg := testClusterConfig()
+	cfg.SampleInterval = 5 * time.Millisecond
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Shutdown()
+
+	var proc atomic.Int64
+	h, err := cluster.SubmitJob(ctx, sumApp(&proc), JobConfig{Name: "ts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadIntsBag(t, ctx, cluster.Store(), h.Bag("in"), 4000)
+	if err := h.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The sampler runs on its own cadence; give it a few ticks past job
+	// completion so the finished-task counters are on the timeline.
+	deadline := time.Now().Add(5 * time.Second)
+	for cluster.Recorder().Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if cluster.Recorder().Samples() < 3 {
+		t.Fatalf("sampler took no samples (got %d)", cluster.Recorder().Samples())
+	}
+
+	srv := httptest.NewServer(cluster.DebugHandler())
+	defer srv.Close()
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	// /debug/timeseries: the job's task counter has a sampled history
+	// with a derived rate track, and the ?series= filter narrows.
+	body, ct := get("/debug/timeseries?series=hurricane_core_tasks_finished_total")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/debug/timeseries content type %q", ct)
+	}
+	var ts struct {
+		Samples uint64 `json:"samples"`
+		Series  []struct {
+			Name    string `json:"name"`
+			Counter bool   `json:"counter"`
+			Points  []struct {
+				TUs int64   `json:"t_us"`
+				V   float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.Unmarshal([]byte(body), &ts); err != nil {
+		t.Fatalf("/debug/timeseries not JSON: %v", err)
+	}
+	if ts.Samples < 3 || len(ts.Series) == 0 {
+		t.Fatalf("timeseries = %d samples, %d series", ts.Samples, len(ts.Series))
+	}
+	found := false
+	for _, s := range ts.Series {
+		if !strings.Contains(s.Name, "hurricane_core_tasks_finished_total") {
+			t.Fatalf("?series= filter leak: %q", s.Name)
+		}
+		if strings.Contains(s.Name, `job="ts"`) {
+			found = true
+			if !s.Counter || len(s.Points) == 0 {
+				t.Fatalf("bad series %+v", s)
+			}
+			if last := s.Points[len(s.Points)-1].V; last <= 0 {
+				t.Fatalf("finished-task timeline never rose: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no per-job finished-task series in %s", body)
+	}
+
+	// /debug/alerts: the built-in rules are loaded and evaluated.
+	body, _ = get("/debug/alerts")
+	var al obs.Status
+	if err := json.Unmarshal([]byte(body), &al); err != nil {
+		t.Fatalf("/debug/alerts not JSON: %v", err)
+	}
+	if al.Evals < 3 {
+		t.Fatalf("watchdog evals = %d", al.Evals)
+	}
+	rules := map[string]bool{}
+	for _, r := range al.Rules {
+		rules[r.Name] = true
+	}
+	if !rules["straggler-task-time"] || !rules["shuffle-heat-imbalance"] {
+		t.Fatalf("built-in rules missing: %v", rules)
+	}
+
+	// /debug/dash: the self-contained dashboard page renders.
+	body, ct = get("/debug/dash")
+	if !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("/debug/dash content type %q", ct)
+	}
+	if !strings.Contains(body, "hurricane dash") || !strings.Contains(body, "<canvas") {
+		t.Fatal("/debug/dash not the dashboard page")
+	}
+}
+
 // TestDisableObs: with observability off, every surface degrades to
 // empty-but-valid rather than panicking.
 func TestDisableObs(t *testing.T) {
@@ -179,12 +301,19 @@ func TestDisableObs(t *testing.T) {
 	}
 	srv := httptest.NewServer(cluster.DebugHandler())
 	defer srv.Close()
-	resp, err := http.Get(srv.URL + "/metrics")
-	if err != nil {
-		t.Fatal(err)
+	// No observer means no sampler either; the telemetry endpoints still
+	// answer with empty documents.
+	if cluster.Recorder() != nil || cluster.Watch() != nil {
+		t.Fatal("unobserved cluster has a recorder/watch")
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("/metrics on unobserved cluster: status %d", resp.StatusCode)
+	for _, path := range []string{"/metrics", "/debug/timeseries", "/debug/alerts", "/debug/dash"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s on unobserved cluster: status %d", path, resp.StatusCode)
+		}
 	}
 }

@@ -352,6 +352,7 @@ type masterObs struct {
 	scheduled   *obs.Counter
 	finished    *obs.Counter
 	recoveries  *obs.Counter
+	taskSpan    *obs.Histogram
 
 	proposed   *obs.Counter
 	applied    *obs.Counter
@@ -373,6 +374,7 @@ func newMasterObs(o *obs.Observer, job string) masterObs {
 		scheduled:   o.Counter("hurricane_core_tasks_scheduled_total", l...),
 		finished:    o.Counter("hurricane_core_tasks_finished_total", l...),
 		recoveries:  o.Counter("hurricane_core_recoveries_total", l...),
+		taskSpan:    o.Histogram("hurricane_core_task_span_ns", l...),
 
 		proposed:   o.Counter("hurricane_ctrl_actions_proposed_total", l...),
 		applied:    o.Counter("hurricane_ctrl_actions_applied_total", l...),
@@ -1129,6 +1131,9 @@ func (m *Master) applyDone(e *event) error {
 	delete(st.running, e.TaskID)
 	if e.Spans != nil {
 		m.spans = append(m.spans, *e.Spans)
+		// Feed the straggler watchdog: the p99/p50 spread of this
+		// histogram is the per-sample straggler signal.
+		m.obs.taskSpan.Observe(e.Spans.WallNS())
 	}
 	if e.Merge {
 		st.mergeDone = true

@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// HTTP surfaces for the time dimension, mounted by both the cluster
+// debug mux (core.DebugHandler) and the standalone storage node's. They
+// live here so the two muxes render identically; stdlib only, like
+// everything else in obs.
+
+// timeseriesDoc is the /debug/timeseries response shape.
+type timeseriesDoc struct {
+	NowUs         int64        `json:"now_us"`
+	Samples       uint64       `json:"samples"`
+	DroppedSeries uint64       `json:"dropped_series,omitempty"`
+	Series        []SeriesDump `json:"series"`
+}
+
+// TimeseriesHandler serves the recorder's retained history as JSON.
+// ?series=a,b filters to series whose key contains any given substring;
+// ?since=<t_us> skips points at or before the recorder-clock time (so
+// pollers fetch deltas).
+func TimeseriesHandler(rec *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var filters []string
+		if s := req.URL.Query().Get("series"); s != "" {
+			for _, f := range strings.Split(s, ",") {
+				if f = strings.TrimSpace(f); f != "" {
+					filters = append(filters, f)
+				}
+			}
+		}
+		sinceUs := int64(-1)
+		if s := req.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			sinceUs = v
+		}
+		doc := timeseriesDoc{
+			NowUs:         rec.NowUs(),
+			Samples:       rec.Samples(),
+			DroppedSeries: rec.DroppedSeries(),
+			Series:        rec.Dump(filters, sinceUs),
+		}
+		writeJSONTo(w, doc)
+	})
+}
+
+// AlertsHandler serves the watchdog status (rules, per-series states,
+// raised-alert history) as JSON. ?firing=1 restricts the alert list to
+// unresolved ones.
+func AlertsHandler(watch *Watch) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s := watch.Snapshot()
+		if req.URL.Query().Get("firing") != "" {
+			firing := s.Alerts[:0:0]
+			for _, a := range s.Alerts {
+				if a.ResolvedUs == 0 {
+					firing = append(firing, a)
+				}
+			}
+			s.Alerts = firing
+		}
+		writeJSONTo(w, s)
+	})
+}
+
+func writeJSONTo(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// DashHandler serves the live dashboard: one self-contained HTML page
+// (no external assets, no frameworks) that polls /debug/timeseries and
+// /debug/alerts on the same mux and renders inline canvas sparklines
+// per series plus the watchdog table. It works identically on the
+// cluster mux and the storage-node mux because it only speaks to its
+// own origin.
+func DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write([]byte(dashHTML))
+	})
+}
+
+const dashHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>hurricane dash</title>
+<style>
+  body { font: 13px/1.4 ui-monospace, SFMono-Regular, Menlo, monospace;
+         margin: 0; background: #101418; color: #d6dde4; }
+  header { padding: 10px 16px; background: #161c22; border-bottom: 1px solid #2a333c;
+           display: flex; gap: 16px; align-items: baseline; }
+  header h1 { font-size: 14px; margin: 0; color: #7fd1b9; }
+  header .meta { color: #76818c; }
+  header input { background: #0c1013; color: #d6dde4; border: 1px solid #2a333c;
+                 padding: 3px 8px; font: inherit; width: 260px; }
+  #alerts { padding: 8px 16px; }
+  .alert { padding: 3px 8px; margin: 2px 0; border-left: 3px solid #f2555a; background: #1d1416; }
+  .alert.resolved { border-left-color: #4a5560; background: #141a1f; color: #8e99a4; }
+  .ok { color: #7fd1b9; padding: 3px 0; }
+  #grid { display: grid; grid-template-columns: repeat(auto-fill, minmax(330px, 1fr));
+          gap: 10px; padding: 10px 16px 30px; }
+  .card { background: #161c22; border: 1px solid #2a333c; padding: 8px 10px; }
+  .card .name { color: #9fb4c7; white-space: nowrap; overflow: hidden;
+                text-overflow: ellipsis; }
+  .card .val { color: #e8c268; }
+  canvas { width: 100%; height: 48px; display: block; margin-top: 4px; }
+</style>
+</head>
+<body>
+<header>
+  <h1>hurricane dash</h1>
+  <span class="meta" id="meta">connecting…</span>
+  <input id="filter" placeholder="filter series (substring)" value="">
+</header>
+<div id="alerts"></div>
+<div id="grid"></div>
+<script>
+"use strict";
+const grid = document.getElementById("grid");
+const alertsBox = document.getElementById("alerts");
+const meta = document.getElementById("meta");
+const filter = document.getElementById("filter");
+const fmt = v => Math.abs(v) >= 1e6 ? (v/1e6).toFixed(2)+"M"
+             : Math.abs(v) >= 1e3 ? (v/1e3).toFixed(2)+"k"
+             : (Math.abs(v) >= 1 || v === 0 ? v.toFixed(2) : v.toPrecision(3));
+
+function spark(canvas, pts) {
+  const dpr = window.devicePixelRatio || 1;
+  const w = canvas.clientWidth || 300, h = canvas.clientHeight || 48;
+  canvas.width = w * dpr; canvas.height = h * dpr;
+  const ctx = canvas.getContext("2d");
+  ctx.scale(dpr, dpr);
+  ctx.clearRect(0, 0, w, h);
+  if (pts.length < 2) return;
+  let lo = Infinity, hi = -Infinity;
+  for (const p of pts) { if (p.v < lo) lo = p.v; if (p.v > hi) hi = p.v; }
+  if (hi === lo) { hi += 1; lo -= 1; }
+  const t0 = pts[0].t_us, t1 = pts[pts.length-1].t_us || t0 + 1;
+  const x = t => t1 === t0 ? 0 : (t - t0) / (t1 - t0) * (w - 2) + 1;
+  const y = v => h - 3 - (v - lo) / (hi - lo) * (h - 6);
+  ctx.beginPath();
+  pts.forEach((p, i) => i ? ctx.lineTo(x(p.t_us), y(p.v)) : ctx.moveTo(x(p.t_us), y(p.v)));
+  ctx.strokeStyle = "#7fd1b9"; ctx.lineWidth = 1.2; ctx.stroke();
+}
+
+async function tick() {
+  try {
+    const q = filter.value.trim();
+    const [tsRes, alRes] = await Promise.all([
+      fetch("timeseries" + (q ? "?series=" + encodeURIComponent(q) : "")),
+      fetch("alerts"),
+    ]);
+    const ts = await tsRes.json(), al = await alRes.json();
+    meta.textContent = ts.samples + " samples · " + (ts.series ? ts.series.length : 0) +
+      " series · " + (al.evals || 0) + " rule evals";
+
+    const alerts = (al.alerts || []).slice(-8).reverse();
+    alertsBox.innerHTML = alerts.length === 0
+      ? '<div class="ok">no alerts raised</div>'
+      : alerts.map(a =>
+          '<div class="alert' + (a.resolved_us ? " resolved" : "") + '">' +
+          a.rule + " · " + a.series + " · value " + fmt(a.value) +
+          " ≥ " + fmt(a.threshold) + (a.resolved_us ? " (resolved)" : " (firing)") +
+          "</div>").join("");
+
+    const want = new Set();
+    for (const s of (ts.series || [])) {
+      // Prefer the rate track on counters — the raw monotonic ramp is
+      // rarely what you want to look at.
+      const pts = (s.counter && s.rate && s.rate.length > 1) ? s.rate : s.points;
+      if (!pts || pts.length === 0) continue;
+      const id = "c_" + s.name.replace(/[^a-zA-Z0-9]/g, "_");
+      want.add(id);
+      let card = document.getElementById(id);
+      if (!card) {
+        card = document.createElement("div");
+        card.className = "card"; card.id = id;
+        card.innerHTML = '<div class="name"></div><div class="val"></div><canvas></canvas>';
+        grid.appendChild(card);
+      }
+      card.querySelector(".name").textContent = s.name + (s.counter ? " (rate/s)" : "");
+      card.querySelector(".name").title = s.name;
+      card.querySelector(".val").textContent = fmt(pts[pts.length-1].v);
+      spark(card.querySelector("canvas"), pts);
+    }
+    for (const card of Array.from(grid.children)) {
+      if (!want.has(card.id)) card.remove();
+    }
+  } catch (err) {
+    meta.textContent = "poll failed: " + err;
+  }
+}
+tick();
+setInterval(tick, 1000);
+filter.addEventListener("input", tick);
+</script>
+</body>
+</html>
+`

@@ -39,7 +39,12 @@ type Observer struct {
 // New returns an enabled observer with the given trace capacity
 // (traceCap <= 0 selects DefaultTraceCap).
 func New(traceCap int) *Observer {
-	return &Observer{reg: NewRegistry(), trace: NewTrace(traceCap)}
+	o := &Observer{reg: NewRegistry(), trace: NewTrace(traceCap)}
+	// Ring pressure is itself a signal worth watching: mirror trace
+	// displacement into a registry counter so the drop-rate watchdog and
+	// /metrics scrapes see it without touching Go APIs.
+	o.trace.BindDropCounter(o.reg.Counter("hurricane_trace_dropped_total"))
+	return o
 }
 
 // Registry returns the observer's metrics registry (nil for a nil

@@ -47,6 +47,11 @@ const (
 	// slow-op threshold (subject = node or bag, detail = op, bag, and
 	// duration). Emitted by the storage-tier meters (transport.Meter).
 	EvStorageSlowOp EventType = "StorageSlowOp"
+	// EvAlertRaised: a watchdog rule fired (subject = rule name, detail =
+	// series, observed value, and threshold). Emitted by the Watch layer
+	// on the sampling cadence; decision-class, so raised alerts survive
+	// ring eviction like the mitigation decisions they point at.
+	EvAlertRaised EventType = "AlertRaised"
 )
 
 // Event is one trace entry. TMicros is monotonic time since the trace
@@ -88,6 +93,10 @@ type Trace struct {
 	// jobTrace maps a job name to the causal trace ID minted at its
 	// submission; Emit stamps it onto every event of that job.
 	jobTrace map[string]string
+	// dropCtr, when bound, mirrors every displacement into a registry
+	// counter (hurricane_trace_dropped_total) so ring pressure shows up
+	// on /metrics and the timeline without calling Go APIs.
+	dropCtr *Counter
 }
 
 // decisionEvent classifies the event types whose latest occurrences must
@@ -97,7 +106,7 @@ func decisionEvent(typ EventType) bool {
 	switch typ {
 	case EvPartitionSplit, EvKeyIsolated, EvTaskCloned, EvCloneYielded,
 		EvMapRevision, EvLeasePreempt, EvWindowRetried, EvJoinStrategyChosen,
-		EvStorageSlowOp:
+		EvStorageSlowOp, EvAlertRaised:
 		return true
 	}
 	return false
@@ -110,6 +119,18 @@ func NewTrace(capacity int) *Trace {
 		capacity = DefaultTraceCap
 	}
 	return &Trace{start: time.Now(), ring: make([]Event, 0, capacity)}
+}
+
+// BindDropCounter mirrors future displacement counts into ctr (pass the
+// registry's hurricane_trace_dropped_total handle). Call during setup,
+// before concurrent emitters start.
+func (t *Trace) BindDropCounter(ctr *Counter) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.dropCtr = ctr
+	t.mu.Unlock()
 }
 
 // Emit appends one event. At capacity, lifecycle events are dropped;
@@ -128,6 +149,7 @@ func (t *Trace) Emit(typ EventType, job, subject, detail string) {
 	if len(t.ring) == cap(t.ring) {
 		if !decisionEvent(typ) {
 			t.dropped++
+			t.dropCtr.Inc()
 			return
 		}
 		evict := 0
@@ -140,6 +162,7 @@ func (t *Trace) Emit(typ EventType, job, subject, detail string) {
 		copy(t.ring[evict:], t.ring[evict+1:])
 		t.ring = t.ring[:len(t.ring)-1]
 		t.dropped++
+		t.dropCtr.Inc()
 	}
 	t.seq++
 	t.ring = append(t.ring, Event{

@@ -80,6 +80,32 @@ func TestJobTraceNilSafe(t *testing.T) {
 
 // TestSlowOpEventSurvivesCap: EvStorageSlowOp is a decision event — at
 // capacity it evicts lifecycle chatter instead of being dropped.
+func TestAlertEventSurvivesCap(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 4; i++ {
+		tr.Emit(EvTaskFinished, "j", "t", "lifecycle")
+	}
+	tr.Emit(EvAlertRaised, "", "straggler-task-time", "series=x value=5 threshold=4")
+	if got := tr.Events("", EvAlertRaised); len(got) != 1 {
+		t.Fatalf("AlertRaised did not survive a full ring: %d", len(got))
+	}
+}
+
+func TestTraceDroppedCounter(t *testing.T) {
+	// obs.New binds the ring's displacement count to
+	// hurricane_trace_dropped_total, so ring pressure is scrapeable.
+	o := New(4)
+	for i := 0; i < 7; i++ {
+		o.Emit(EvTaskFinished, "j", "t", "lifecycle")
+	}
+	if d := o.Tracer().Dropped(); d != 3 {
+		t.Fatalf("Dropped = %d, want 3", d)
+	}
+	if got := o.Registry().Snapshot()["hurricane_trace_dropped_total"]; got != 3 {
+		t.Fatalf("hurricane_trace_dropped_total = %v, want 3", got)
+	}
+}
+
 func TestSlowOpEventSurvivesCap(t *testing.T) {
 	tr := NewTrace(4)
 	for i := 0; i < 4; i++ {

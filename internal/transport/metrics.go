@@ -37,6 +37,7 @@ const DefaultSlowOp = 25 * time.Millisecond
 //	hurricane_storage_inflight{role}            ops currently executing
 //	hurricane_storage_conns{role}               open TCP connections
 //	hurricane_storage_dials_total{role}         TCP dials attempted
+//	hurricane_storage_slow_ops_total{role}      ops at/above the slow-op threshold
 //
 // All handles are registered once at construction; the per-op record
 // path is a few atomic adds. A nil *Meter is a no-op, so endpoints can
@@ -57,6 +58,7 @@ type Meter struct {
 	inflight *obs.Gauge
 	conns    *obs.Gauge
 	dials    *obs.Counter
+	slowOps  *obs.Counter
 }
 
 // NewMeter registers a meter's metric series on o under the given role
@@ -90,6 +92,7 @@ func NewMeter(o *obs.Observer, role, node string, slow time.Duration) *Meter {
 	m.inflight = o.Gauge("hurricane_storage_inflight", base...)
 	m.conns = o.Gauge("hurricane_storage_conns", base...)
 	m.dials = o.Counter("hurricane_storage_dials_total", base...)
+	m.slowOps = o.Counter("hurricane_storage_slow_ops_total", base...)
 	return m
 }
 
@@ -130,6 +133,7 @@ func (m *Meter) End(op Op, bag string, start time.Time, bytesIn, bytesOut int, e
 		m.errs[op].Inc()
 	}
 	if m.slow > 0 && elapsed >= m.slow {
+		m.slowOps.Inc()
 		m.o.Emit(obs.EvStorageSlowOp, "", m.subject,
 			fmt.Sprintf("op=%s bag=%s took=%s", op, bag, elapsed.Round(time.Microsecond)))
 	}

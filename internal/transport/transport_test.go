@@ -109,8 +109,8 @@ func TestOpSketchOverTransports(t *testing.T) {
 		if !bytes.Equal(resp.Data, req.Data) {
 			t.Fatalf("payload did not round-trip: %q", resp.Data)
 		}
-		if h.lastOp != OpSketch || h.lastDst != "join/w2@e0" || h.lastBag != "shuf" {
-			t.Fatalf("handler saw op=%v bag=%q dst=%q", h.lastOp, h.lastBag, h.lastDst)
+		if op, bag, dst := h.last(); op != OpSketch || dst != "join/w2@e0" || bag != "shuf" {
+			t.Fatalf("handler saw op=%v bag=%q dst=%q", op, bag, dst)
 		}
 	}
 	t.Run("inproc", func(t *testing.T) {
@@ -133,8 +133,11 @@ func TestOpSketchOverTransports(t *testing.T) {
 	})
 }
 
-// echoHandler returns the request payload with status OK.
+// echoHandler returns the request payload with status OK. The TCP
+// server invokes Handle from one goroutine per connection, so the
+// bookkeeping fields are mutex-guarded.
 type echoHandler struct {
+	mu      sync.Mutex
 	calls   int
 	lastOp  Op
 	lastBag string
@@ -142,9 +145,17 @@ type echoHandler struct {
 }
 
 func (e *echoHandler) Handle(req *Request) *Response {
+	e.mu.Lock()
 	e.calls++
 	e.lastOp, e.lastBag, e.lastDst = req.Op, req.Bag, req.Dst
+	e.mu.Unlock()
 	return &Response{Status: StatusOK, Data: req.Data, TotalChunks: req.Arg}
+}
+
+func (e *echoHandler) last() (Op, string, string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastOp, e.lastBag, e.lastDst
 }
 
 func TestInProcBasics(t *testing.T) {

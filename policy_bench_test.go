@@ -78,8 +78,11 @@ func BenchmarkPolicyAblation(b *testing.B) {
 					// HURRICANE_NOSPANS=1 disables only the task
 					// profiler's span accounting, for the
 					// profiler_overhead A/B recorded alongside it.
-					DisableObs:   os.Getenv("HURRICANE_NOOBS") != "",
-					DisableSpans: os.Getenv("HURRICANE_NOSPANS") != "",
+					// HURRICANE_NOSAMPLER=1 disables only the time-series
+					// sampler + watchdogs, for the sampler_overhead A/B.
+					DisableObs:     os.Getenv("HURRICANE_NOOBS") != "",
+					DisableSpans:   os.Getenv("HURRICANE_NOSPANS") != "",
+					DisableSampler: os.Getenv("HURRICANE_NOSAMPLER") != "",
 					StorageNodes: 4,
 					ComputeNodes: 4,
 					SlotsPerNode: 2,
